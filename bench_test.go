@@ -1,0 +1,248 @@
+// Benchmarks regenerating the performance-shaped experiments of
+// DESIGN.md §3. One benchmark per experiment table/figure:
+//
+//	E1  BenchmarkParseFuseBy        — Fuse By grammar (Fig. 1)
+//	E2  BenchmarkPipelineEndToEnd   — full pipeline (Fig. 2)
+//	E3  BenchmarkDUMASMatch         — schema matching
+//	E5  BenchmarkDupDetect          — duplicate detection
+//	E6  BenchmarkDupDetectNoFilter  — ablation D4 (filter off)
+//	E7  BenchmarkResolution*        — conflict-resolution functions
+//	E8  BenchmarkFuseByScaling      — fusion vs. plain outer union
+//
+// Run: go test -bench=. -benchmem
+package hummer
+
+import (
+	"fmt"
+	"testing"
+
+	"hummer/internal/core"
+	"hummer/internal/datagen"
+	"hummer/internal/dumas"
+	"hummer/internal/dupdetect"
+	"hummer/internal/engine"
+	"hummer/internal/fusion"
+	"hummer/internal/metadata"
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/sql"
+	"hummer/internal/value"
+)
+
+const benchSeed = 2005
+
+var benchRenames = map[string]string{
+	"Name": "FullName", "Age": "Years", "City": "Town",
+	"Email": "Mail", "Phone": "Telephone",
+}
+
+// benchSources builds two overlapping dirty person sources with n/2
+// entities each.
+func benchSources(n int) (*relation.Relation, *relation.Relation) {
+	ents := datagen.Persons.Generate(benchSeed, n/2)
+	left := datagen.ObserveShuffled(datagen.Persons, ents, datagen.SourceSpec{
+		Alias: "s1", TypoRate: 0.1, NullRate: 0.05, Seed: benchSeed + 1,
+	})
+	right := datagen.ObserveShuffled(datagen.Persons, ents, datagen.SourceSpec{
+		Alias: "s2", Renames: benchRenames, TypoRate: 0.1, NullRate: 0.05, Seed: benchSeed + 2,
+	})
+	return left.Rel, right.Rel
+}
+
+func benchRepo(b *testing.B, n int) *metadata.Repository {
+	b.Helper()
+	l, r := benchSources(n)
+	repo := metadata.NewRepository()
+	if err := repo.RegisterRelation("s1", l); err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.RegisterRelation("s2", r); err != nil {
+		b.Fatal(err)
+	}
+	return repo
+}
+
+// BenchmarkParseFuseBy measures parsing of the paper's Fig. 1 example
+// statement (experiment E1).
+func BenchmarkParseFuseBy(b *testing.B) {
+	q := `SELECT Name, RESOLVE(Age, max), RESOLVE(Price, choose('shopB')) AS p
+	      FUSE FROM EE_Student, CS_Students
+	      WHERE Age > 18 AND City LIKE 'Ber%'
+	      FUSE BY (Name, City)
+	      HAVING Age < 99 ORDER BY Name DESC LIMIT 10`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sql.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineEndToEnd measures the full Fig. 2 dataflow:
+// matching, transformation, duplicate detection and fusion
+// (experiment E2).
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			repo := benchRepo(b, n)
+			p := &core.Pipeline{Repo: repo}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run([]string{"s1", "s2"}, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDUMASMatch measures duplicate-based schema matching
+// (experiment E3).
+func BenchmarkDUMASMatch(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			l, r := benchSources(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dumas.Match(l, r, dumas.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchDirty builds the duplicate-detection workload.
+func benchDirty(n int) *relation.Relation {
+	ents := datagen.Persons.Generate(benchSeed, n/3)
+	obs := datagen.DirtyTable(datagen.Persons, ents, 3, datagen.SourceSpec{
+		Alias: "dirty", TypoRate: 0.15, NullRate: 0.1, Seed: benchSeed + 3,
+	})
+	return obs.Rel
+}
+
+// BenchmarkDupDetect measures duplicate detection with the upper-bound
+// filter on (experiment E5).
+func BenchmarkDupDetect(b *testing.B) {
+	for _, n := range []int{100, 300, 900} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			rel := benchDirty(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dupdetect.Detect(rel, dupdetect.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDupDetectNoFilter is ablation D4: the same detection with
+// the filter disabled (experiment E6 measures the gap).
+func BenchmarkDupDetectNoFilter(b *testing.B) {
+	for _, n := range []int{100, 300} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			rel := benchDirty(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dupdetect.Detect(rel, dupdetect.Config{DisableFilter: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkResolutionFunctions measures the built-in conflict-
+// resolution functions over a ten-way conflict (experiment E7).
+func BenchmarkResolutionFunctions(b *testing.B) {
+	reg := fusion.NewRegistry()
+	s := schema.FromNames("c")
+	vals := make([]value.Value, 10)
+	rows := make([]relation.Row, 10)
+	sources := make([]string, 10)
+	for i := range vals {
+		vals[i] = value.NewString(fmt.Sprintf("value-%d", i%4))
+		rows[i] = relation.Row{vals[i]}
+		sources[i] = fmt.Sprintf("s%d", i)
+	}
+	ctx := &fusion.Context{Column: "c", Relation: "t", Schema: s,
+		Rows: rows, Values: vals, Sources: sources}
+	for _, name := range []string{"coalesce", "vote", "concat", "longest", "min", "median"} {
+		f, ok := reg.Lookup(name)
+		if !ok {
+			b.Fatalf("no function %q", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f(ctx, ""); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFuseByScaling compares the full fusion pipeline against the
+// outer-union-only baseline at growing input sizes (experiment E8).
+func BenchmarkFuseByScaling(b *testing.B) {
+	for _, n := range []int{200, 800} {
+		repo := benchRepo(b, n)
+		p := &core.Pipeline{Repo: repo}
+		b.Run(fmt.Sprintf("pipeline/rows=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run([]string{"s1", "s2"}, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("outer-union-baseline/rows=%d", n), func(b *testing.B) {
+			l, err := repo.Get("s1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := repo.Get("s2")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u, err := engine.NewOuterUnion(engine.NewScan(l), engine.NewScan(r))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := engine.Materialize("u", u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryEndToEnd measures the public API round trip: parse,
+// plan, pipeline, post-process.
+func BenchmarkQueryEndToEnd(b *testing.B) {
+	db := New()
+	l, r := benchSources(200)
+	if err := db.RegisterTable("s1", l); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.RegisterTable("s2", r); err != nil {
+		b.Fatal(err)
+	}
+	q := `SELECT Name, RESOLVE(Age, max) FUSE FROM s1, s2 FUSE BY (Name) ORDER BY Name`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

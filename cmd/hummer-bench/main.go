@@ -1,0 +1,40 @@
+// Command hummer-bench regenerates the reproduction experiments of
+// DESIGN.md §3 and prints their tables (the contents of
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	hummer-bench            # run all experiments
+//	hummer-bench -exp e5    # run one experiment
+//	hummer-bench -seed 7    # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hummer/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (e.g. e5); empty runs all: "+
+		strings.Join(experiments.IDs(), ", "))
+	seed := flag.Int64("seed", 2005, "workload seed")
+	flag.Parse()
+
+	if *exp != "" {
+		rep := experiments.ByID(*exp, *seed)
+		if rep == nil {
+			fmt.Fprintf(os.Stderr, "hummer-bench: unknown experiment %q (known: %s)\n",
+				*exp, strings.Join(experiments.IDs(), ", "))
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		return
+	}
+	for _, rep := range experiments.All(*seed) {
+		fmt.Println(rep)
+	}
+}

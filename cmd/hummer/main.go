@@ -1,0 +1,147 @@
+// Command hummer is the HumMer command-line interface: register data
+// sources (CSV/JSON/XML files) under aliases and run a Fuse By or
+// SELECT query against them.
+//
+// Usage:
+//
+//	hummer -csv students1=ee.csv -csv students2=cs.csv \
+//	       -query "SELECT Name, RESOLVE(Age, max) FUSE FROM students1, students2 FUSE BY (Name)"
+//
+// Flags:
+//
+//	-csv alias=path      register a CSV source (repeatable)
+//	-json alias=path     register a JSON source (repeatable)
+//	-xml alias=path:tag  register an XML source (repeatable)
+//	-query SQL           the query; reads stdin when omitted
+//	-lineage             annotate each cell with its sources
+//	-trace               print the pipeline intermediates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hummer"
+)
+
+// multiFlag collects repeatable -key=value flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hummer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hummer", flag.ContinueOnError)
+	var csvs, jsons, xmls multiFlag
+	fs.Var(&csvs, "csv", "alias=path of a CSV source (repeatable)")
+	fs.Var(&jsons, "json", "alias=path of a JSON source (repeatable)")
+	fs.Var(&xmls, "xml", "alias=path:recordTag of an XML source (repeatable)")
+	query := fs.String("query", "", "the query; stdin when omitted")
+	lineageFlag := fs.Bool("lineage", false, "annotate cells with their sources")
+	trace := fs.Bool("trace", false, "print pipeline intermediates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db := hummer.New()
+	for _, spec := range csvs {
+		alias, path, err := splitSpec(spec, "=")
+		if err != nil {
+			return fmt.Errorf("-csv %q: %w", spec, err)
+		}
+		if err := db.RegisterCSV(alias, path); err != nil {
+			return err
+		}
+	}
+	for _, spec := range jsons {
+		alias, path, err := splitSpec(spec, "=")
+		if err != nil {
+			return fmt.Errorf("-json %q: %w", spec, err)
+		}
+		if err := db.RegisterJSON(alias, path); err != nil {
+			return err
+		}
+	}
+	for _, spec := range xmls {
+		alias, rest, err := splitSpec(spec, "=")
+		if err != nil {
+			return fmt.Errorf("-xml %q: %w", spec, err)
+		}
+		path, tag, err := splitSpec(rest, ":")
+		if err != nil {
+			return fmt.Errorf("-xml %q: want alias=path:recordTag", spec)
+		}
+		if err := db.RegisterXML(alias, path, tag); err != nil {
+			return err
+		}
+	}
+
+	q := *query
+	if q == "" {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		q = strings.TrimSpace(string(data))
+	}
+	if q == "" {
+		return fmt.Errorf("no query given (use -query or pipe via stdin)")
+	}
+
+	res, err := db.Query(q)
+	if err != nil {
+		return err
+	}
+	if *trace && res.Pipeline != nil {
+		p := res.Pipeline
+		fmt.Fprintf(stdout, "— sources —\n")
+		for _, s := range p.Sources {
+			fmt.Fprintln(stdout, s)
+		}
+		fmt.Fprintf(stdout, "— merged (after matching + outer union) —\n%s", p.Merged)
+		if p.Detection != nil {
+			fmt.Fprintf(stdout, "— duplicate detection: %d clusters, %d sure pairs, %d borderline, %d/%d comparisons —\n",
+				len(p.Detection.Clusters), len(p.Detection.Duplicates),
+				len(p.Detection.Borderline), p.Detection.Stats.Compared,
+				p.Detection.Stats.CandidatePairs)
+		}
+		fmt.Fprintf(stdout, "— fused result —\n")
+	}
+	fmt.Fprint(stdout, res.Rel)
+	if *lineageFlag && res.Lineage != nil {
+		fmt.Fprintln(stdout, "— lineage —")
+		for i := range res.Lineage {
+			parts := make([]string, len(res.Lineage[i]))
+			for j, l := range res.Lineage[i] {
+				parts[j] = l.String()
+				if parts[j] == "" {
+					parts[j] = "-"
+				}
+			}
+			fmt.Fprintf(stdout, "row %d: %s\n", i, strings.Join(parts, " | "))
+		}
+	}
+	return nil
+}
+
+func splitSpec(spec, sep string) (string, string, error) {
+	i := strings.Index(spec, sep)
+	if i <= 0 || i == len(spec)-1 {
+		return "", "", fmt.Errorf("want key%svalue", sep)
+	}
+	return spec[:i], spec[i+1:], nil
+}

@@ -1,0 +1,71 @@
+// CD-shop catalog integration (paper §1): a shopping agent collects
+// data about identical CDs offered at different sites. The sites label
+// their data fields differently (or the agent only sees scraped
+// columns), list overlapping albums with typos, and disagree on
+// prices. One Fuse By query integrates the catalogs, favoring the
+// cheapest offer for the price and annotating where each price came
+// from.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hummer"
+)
+
+func main() {
+	db := hummer.New()
+
+	// Three shops, three schemas, dirty overlapping catalogs.
+	shopA := hummer.NewTable("shopA", "Artist", "Title", "Price", "Year").
+		AddText("The Beatles", "Abbey Road", "18.99", "1969").
+		AddText("Miles Davis", "Kind of Blue", "14.50", "1959").
+		AddText("Nina Simone", "Pastel Blues", "12.00", "1965").
+		AddText("Glenn Gould", "Goldberg Variations", "21.00", "1981").
+		Build()
+	shopB := hummer.NewTable("shopB", "Performer", "Album", "Cost").
+		AddText("The Beatles", "Abbey Road", "12.49").
+		AddText("Miles Davis", "Kind of Blue", "13.99").
+		AddText("Johnny Cash", "At Folsom Prison", "11.00").
+		Build()
+	shopC := hummer.NewTable("shopC", "Band", "Record", "Amount", "Released").
+		AddText("The Beatles", "Abbey Roda", "15.75", "1969"). // note the typo
+		AddText("Nina Simone", "Pastel Blues", "10.25", "1965").
+		AddText("Ella Fitzgerald", "Lullabies of Birdland", "9.99", "1954").
+		Build()
+
+	for alias, rel := range map[string]*hummer.Relation{
+		"shopA": shopA, "shopB": shopB, "shopC": shopC,
+	} {
+		if err := db.RegisterTable(alias, rel); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Integrate the catalogs: identify CDs by title (typo-tolerant,
+	// thanks to duplicate detection), take the minimum price, and keep
+	// the full price list annotated per shop.
+	res, err := db.Query(`
+		SELECT Title, Artist,
+		       RESOLVE(Price, min) AS BestPrice,
+		       RESOLVE(Price, annconcat) AS AllPrices,
+		       RESOLVE(Year, vote)
+		FUSE FROM shopA, shopB, shopC
+		FUSE BY (Title)
+		ORDER BY BestPrice`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Integrated CD catalog (cheapest offer first):")
+	fmt.Print(res.Rel)
+
+	// Lineage: which shop supplied each fused value ("color coding"
+	// in the demo GUI).
+	fmt.Println("\nBest-price lineage per album:")
+	bp := res.Rel.Schema().MustLookup("BestPrice")
+	for i := 0; i < res.Rel.Len(); i++ {
+		fmt.Printf("  %-25s %s ← %s\n",
+			res.Rel.Value(i, "Title"), res.Rel.Value(i, "BestPrice"), res.Lineage[i][bp])
+	}
+}

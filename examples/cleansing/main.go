@@ -1,0 +1,54 @@
+// Online data-cleansing service (paper §1): a user submits one dirty
+// data set — duplicates, typos, missing values — and receives a clean,
+// consistent data set in response, without writing any ETL.
+//
+// This example also shows the wizard hooks: the user inspects the
+// proposed duplicate clustering before fusion (step 4 of Fig. 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hummer"
+)
+
+func main() {
+	db := hummer.New()
+
+	upload := hummer.NewTable("upload", "Name", "Age", "City", "Email").
+		AddText("Jonathan Smith", "32", "Berlin", "jon@example.com").
+		AddText("Jonathon Smith", "32", "Berlin", "jon@example.com"). // typo duplicate
+		AddText("Maria Garcia", "27", "Hamburg", "maria@example.org").
+		AddText("Maria Garcia", "27", "", "maria@example.org"). // missing city
+		AddText("Maria Garcia", "", "Hamburg", "").             // sparse duplicate
+		AddText("Wei Chen", "45", "Munich", "wei@example.net").
+		AddText("Aisha Khan", "19", "Cologne", "aisha@example.com").
+		Build()
+	if err := db.RegisterTable("upload", upload); err != nil {
+		log.Fatal(err)
+	}
+
+	// Wizard step 4: review the duplicate clustering before fusing.
+	db.OnDuplicates(func(det *hummer.Detection, merged *hummer.Relation) []int {
+		fmt.Printf("proposed clustering: %d tuples → %d objects\n", merged.Len(), len(det.Clusters))
+		for _, pair := range det.Duplicates {
+			fmt.Printf("  sure duplicate (%.2f): %q ↔ %q\n", pair.Sim,
+				merged.Value(pair.A, "Name").Text(), merged.Value(pair.B, "Name").Text())
+		}
+		for _, pair := range det.Borderline {
+			fmt.Printf("  unsure case    (%.2f): %q ↔ %q\n", pair.Sim,
+				merged.Value(pair.A, "Name").Text(), merged.Value(pair.B, "Name").Text())
+		}
+		return nil // accept the proposal unchanged
+	})
+
+	res, err := db.Query(`SELECT * FUSE FROM upload FUSE BY (Name) ORDER BY Name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nCleansed data set:")
+	fmt.Print(res.Rel)
+	fmt.Printf("\n%d dirty rows in, %d clean rows out\n", upload.Len(), res.Rel.Len())
+}

@@ -1,0 +1,206 @@
+// Package hummer is the public API of the Humboldt Merger (HumMer), a
+// reproduction of "Automatic Data Fusion with HumMer" (Bilke,
+// Bleiholder, Böhm, Draba, Naumann, Weis — VLDB 2005).
+//
+// HumMer fuses heterogeneous, duplicate-ridden, conflicting data in
+// three fully automatic steps driven by a single query:
+//
+//  1. instance-based schema matching (DUMAS) aligns the attributes of
+//     differently-labelled tables,
+//  2. duplicate detection finds multiple representations of the same
+//     real-world object, and
+//  3. data fusion merges each duplicate group into one consistent
+//     tuple, resolving value conflicts with per-column resolution
+//     functions.
+//
+// The entry point is a DB: register data sources under aliases, then
+// issue Fuse By queries:
+//
+//	db := hummer.New()
+//	db.RegisterCSV("EE_Student", "ee.csv")
+//	db.RegisterCSV("CS_Students", "cs.csv")
+//	res, err := db.Query(`
+//	    SELECT Name, RESOLVE(Age, max)
+//	    FUSE FROM EE_Student, CS_Students
+//	    FUSE BY (Name)`)
+package hummer
+
+import (
+	"hummer/internal/core"
+	"hummer/internal/dumas"
+	"hummer/internal/dupdetect"
+	"hummer/internal/fusion"
+	"hummer/internal/lineage"
+	"hummer/internal/metadata"
+	"hummer/internal/plan"
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// Re-exported data-model types. These aliases let callers name the
+// types the API returns without reaching into internal packages.
+type (
+	// Relation is an in-memory table: a schema plus rows of values.
+	Relation = relation.Relation
+	// Row is one tuple of a relation.
+	Row = relation.Row
+	// Value is a dynamically typed scalar (NULL, string, int, float,
+	// bool, time).
+	Value = value.Value
+	// Schema is an ordered list of named, typed columns.
+	Schema = schema.Schema
+	// LineageSet names the sources and rows a fused value came from.
+	LineageSet = lineage.Set
+	// ResolutionSpec names a conflict-resolution function plus its
+	// optional argument, e.g. {Name: "choose", Arg: "shopB"}.
+	ResolutionSpec = fusion.Spec
+	// ResolutionContext is the query context a custom resolution
+	// function receives.
+	ResolutionContext = fusion.Context
+	// ResolutionFunc is a user-defined conflict-resolution function.
+	ResolutionFunc = fusion.Func
+	// PipelineResult exposes every intermediate of a fusion run
+	// (sources, matches, merged table, detection, fused output).
+	PipelineResult = core.Result
+	// PipelineOptions configures a programmatic fusion run.
+	PipelineOptions = core.Options
+	// Correspondence is one matched attribute pair proposed by schema
+	// matching.
+	Correspondence = dumas.Correspondence
+	// Detection is the duplicate-detection output (clusters, scored
+	// pairs, borderline cases, comparison statistics).
+	Detection = dupdetect.Result
+	// Values re-exported for building rows and custom resolution
+	// functions.
+	Kind = value.Kind
+)
+
+// Value constructors, re-exported for convenience.
+var (
+	// Null is the NULL value.
+	Null = value.Null
+	// NewString wraps a string.
+	NewString = value.NewString
+	// NewInt wraps an int64.
+	NewInt = value.NewInt
+	// NewFloat wraps a float64.
+	NewFloat = value.NewFloat
+	// NewBool wraps a bool.
+	NewBool = value.NewBool
+	// NewTime wraps a time.Time.
+	NewTime = value.NewTime
+	// ParseValue infers the most specific value from raw text.
+	ParseValue = value.Parse
+)
+
+// Result is the outcome of one query: the result table, per-cell
+// lineage for fusion queries, and the pipeline intermediates.
+type Result = plan.QueryResult
+
+// DB is a HumMer instance: a metadata repository of registered
+// sources, a resolution-function registry and a query executor.
+type DB struct {
+	repo     *metadata.Repository
+	registry *fusion.Registry
+	pipeline *core.Pipeline
+	executor *plan.Executor
+}
+
+// New creates an empty HumMer instance with the built-in resolution
+// functions (Coalesce, First, Last, Vote, Group, Concat, AnnConcat,
+// Shortest, Longest, Choose, MostRecent, min, max, sum, avg, count,
+// median, stddev).
+func New() *DB {
+	repo := metadata.NewRepository()
+	reg := fusion.NewRegistry()
+	pipe := &core.Pipeline{Repo: repo, Registry: reg}
+	return &DB{
+		repo:     repo,
+		registry: reg,
+		pipeline: pipe,
+		executor: &plan.Executor{Repo: repo, Registry: reg, Pipeline: pipe},
+	}
+}
+
+// RegisterTable registers an in-memory relation under alias.
+func (db *DB) RegisterTable(alias string, rel *Relation) error {
+	return db.repo.RegisterRelation(alias, rel)
+}
+
+// RegisterCSV registers a CSV file (first row = header) under alias.
+func (db *DB) RegisterCSV(alias, path string) error {
+	return db.repo.RegisterCSV(alias, path)
+}
+
+// RegisterJSON registers a JSON file (array of flat objects) under
+// alias.
+func (db *DB) RegisterJSON(alias, path string) error {
+	return db.repo.RegisterJSON(alias, path)
+}
+
+// RegisterXML registers an XML file under alias; recordTag names the
+// repeated element that forms one tuple.
+func (db *DB) RegisterXML(alias, path, recordTag string) error {
+	return db.repo.RegisterXML(alias, path, recordTag)
+}
+
+// Sources lists the registered aliases, sorted.
+func (db *DB) Sources() []string { return db.repo.Aliases() }
+
+// Table loads (and caches) the relational form of a registered source.
+func (db *DB) Table(alias string) (*Relation, error) { return db.repo.Get(alias) }
+
+// RegisterResolution adds a custom conflict-resolution function; the
+// name becomes usable in RESOLVE clauses (HumMer is extensible,
+// paper §2.4).
+func (db *DB) RegisterResolution(name string, f ResolutionFunc) {
+	db.registry.Register(name, f)
+}
+
+// ResolutionFunctions lists the registered resolution-function names.
+func (db *DB) ResolutionFunctions() []string { return db.registry.Names() }
+
+// Query parses and executes a SELECT or FUSE BY statement.
+func (db *DB) Query(sql string) (*Result, error) { return db.executor.Query(sql) }
+
+// Fuse runs the three-phase pipeline programmatically over the
+// registered aliases — the API equivalent of the demo's wizard mode.
+func (db *DB) Fuse(aliases []string, opts PipelineOptions) (*PipelineResult, error) {
+	return db.pipeline.Run(aliases, opts)
+}
+
+// OnCorrespondences installs the wizard step-2 hook: inspect and
+// adjust the attribute correspondences DUMAS proposes for each source
+// before they are applied. Pass nil to restore automatic behaviour.
+func (db *DB) OnCorrespondences(h func(sourceAlias string, proposed []Correspondence) []Correspondence) {
+	db.pipeline.OnCorrespondences = h
+}
+
+// OnAttributes installs the wizard step-3 hook: adjust the attributes
+// duplicate detection compares.
+func (db *DB) OnAttributes(h func(proposed []string) []string) {
+	db.pipeline.OnAttributes = h
+}
+
+// OnDuplicates installs the wizard step-4 hook: inspect the detected
+// duplicate clustering and optionally return replacement object ids.
+func (db *DB) OnDuplicates(h func(det *Detection, merged *Relation) []int) {
+	if h == nil {
+		db.pipeline.OnDuplicates = nil
+		return
+	}
+	db.pipeline.OnDuplicates = h
+}
+
+// NewTable starts a fluent builder for an in-memory relation:
+//
+//	t := hummer.NewTable("people", "Name", "Age").
+//	    AddText("Alice", "30").
+//	    Build()
+func NewTable(name string, cols ...string) *TableBuilder {
+	return relation.NewBuilder(name, cols...)
+}
+
+// TableBuilder builds relations row by row.
+type TableBuilder = relation.Builder

@@ -1,0 +1,199 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMaxWeightSimple(t *testing.T) {
+	// Optimal is anti-diagonal: 3 + 3 = 6; greedy diagonal would be 4+1=5.
+	w := [][]float64{
+		{4, 3},
+		{3, 1},
+	}
+	pairs := MaxWeight(w)
+	if got := TotalWeight(pairs); got != 6 {
+		t.Errorf("total = %g, want 6 (anti-diagonal)", got)
+	}
+}
+
+func TestMaxWeightRectangular(t *testing.T) {
+	// 2 rows × 3 cols: each row matched at most once, each col at most once.
+	w := [][]float64{
+		{0.1, 0.9, 0.2},
+		{0.8, 0.95, 0.1},
+	}
+	pairs := MaxWeight(w)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2", len(pairs))
+	}
+	// Optimal: row0→col1 (0.9) + row1→col0 (0.8) = 1.7
+	// beats row1→col1 (0.95) + row0→col0 (0.1) = 1.05.
+	if got := TotalWeight(pairs); math.Abs(got-1.7) > 1e-9 {
+		t.Errorf("total = %g, want 1.7", got)
+	}
+	seenRow := map[int]bool{}
+	seenCol := map[int]bool{}
+	for _, p := range pairs {
+		if seenRow[p.Row] || seenCol[p.Col] {
+			t.Error("matching is not 1:1")
+		}
+		seenRow[p.Row] = true
+		seenCol[p.Col] = true
+	}
+}
+
+func TestMaxWeightExcludesZeroWeight(t *testing.T) {
+	w := [][]float64{
+		{0.9, 0},
+		{0, 0},
+	}
+	pairs := MaxWeight(w)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v, want only the 0.9 cell", pairs)
+	}
+	if pairs[0].Row != 0 || pairs[0].Col != 0 {
+		t.Errorf("matched %v, want (0,0)", pairs[0])
+	}
+}
+
+func TestMaxWeightEmpty(t *testing.T) {
+	if got := MaxWeight(nil); got != nil {
+		t.Errorf("MaxWeight(nil) = %v", got)
+	}
+	if got := MaxWeight([][]float64{{}}); len(got) != 0 {
+		t.Errorf("MaxWeight(0 cols) = %v", got)
+	}
+}
+
+func TestMaxWeightTallMatrix(t *testing.T) {
+	// More rows than columns.
+	w := [][]float64{
+		{0.5},
+		{0.9},
+		{0.7},
+	}
+	pairs := MaxWeight(w)
+	if len(pairs) != 1 || pairs[0].Row != 1 {
+		t.Errorf("pairs = %v, want single (1,0)", pairs)
+	}
+}
+
+func TestGreedySuboptimal(t *testing.T) {
+	// The classic trap: greedy takes 4 first then only 1, total 5;
+	// optimal is 6.
+	w := [][]float64{
+		{4, 3},
+		{3, 1},
+	}
+	g := TotalWeight(Greedy(w))
+	h := TotalWeight(MaxWeight(w))
+	if g != 5 {
+		t.Errorf("greedy total = %g, want 5", g)
+	}
+	if h <= g {
+		t.Errorf("hungarian (%g) must beat greedy (%g) here", h, g)
+	}
+}
+
+func TestHungarianAtLeastGreedyRandom(t *testing.T) {
+	// Property: the Hungarian result is never worse than greedy.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 1 + rng.Intn(8)
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, m)
+			for j := range w[i] {
+				w[i][j] = rng.Float64()
+			}
+		}
+		g := TotalWeight(Greedy(w))
+		h := TotalWeight(MaxWeight(w))
+		if h < g-1e-9 {
+			t.Fatalf("trial %d: hungarian %g < greedy %g for %v", trial, h, g, w)
+		}
+	}
+}
+
+func TestMaxWeightMatchesBruteForce(t *testing.T) {
+	// Exhaustive check on small random square matrices.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(4) // 2..5
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = rng.Float64()
+			}
+		}
+		want := bruteForceBest(w)
+		got := TotalWeight(MaxWeight(w))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: hungarian %g != brute force %g", trial, got, want)
+		}
+	}
+}
+
+// bruteForceBest tries all permutations of a square matrix.
+func bruteForceBest(w [][]float64) float64 {
+	n := len(w)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := 0.0
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var total float64
+			for i, j := range perm {
+				total += w[i][j]
+			}
+			if total > best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func BenchmarkHungarian10x10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([][]float64, 10)
+	for i := range w {
+		w[i] = make([]float64, 10)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxWeight(w)
+	}
+}
+
+func BenchmarkGreedy10x10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := make([][]float64, 10)
+	for i := range w {
+		w[i] = make([]float64, 10)
+		for j := range w[i] {
+			w[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(w)
+	}
+}

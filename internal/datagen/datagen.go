@@ -1,0 +1,322 @@
+// Package datagen synthesizes the dirty, heterogeneous, duplicate-
+// ridden data HumMer's scenarios describe (§1 of the paper: catalog
+// integration, online data cleansing, tsunami/crisis records), with
+// ground truth attached so that experiments can score precision and
+// recall — something the original live demo could not do.
+//
+// The generators are deterministic for a given seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// Entity is one clean real-world object with canonical field values.
+type Entity struct {
+	// ID is the ground-truth identity.
+	ID int
+	// Fields maps canonical attribute names to clean values.
+	Fields map[string]value.Value
+}
+
+// Domain generates clean entities of one kind.
+type Domain struct {
+	// Name labels the domain ("person", "cd", "crisis").
+	Name string
+	// Attributes are the canonical attribute names in order.
+	Attributes []string
+	// generate fills the fields of entity i.
+	generate func(rng *rand.Rand, i int) map[string]value.Value
+}
+
+// Generate produces n clean entities.
+func (d *Domain) Generate(seed int64, n int) []Entity {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entity, n)
+	for i := range out {
+		out[i] = Entity{ID: i, Fields: d.generate(rng, i)}
+	}
+	return out
+}
+
+var (
+	firstNames = []string{
+		"Jonathan", "Maria", "Wei", "Aisha", "Peter", "Lena", "Anan",
+		"Somchai", "Fatima", "Carlos", "Yuki", "Olga", "Samuel", "Ingrid",
+		"Rajesh", "Chloe", "Mehmet", "Astrid", "Kofi", "Elena", "Hiroshi",
+		"Amara", "Viktor", "Sofia", "Tariq", "Greta", "Nikolai", "Priya",
+	}
+	lastNames = []string{
+		"Smith", "Garcia", "Chen", "Khan", "Schulz", "Fischer", "Chaiyasit",
+		"Woranut", "Hassan", "Mendoza", "Tanaka", "Petrova", "Okafor",
+		"Larsen", "Patel", "Dubois", "Yilmaz", "Berg", "Mensah", "Rossi",
+		"Yamamoto", "Diallo", "Ivanov", "Almeida", "Aziz", "Lindgren",
+	}
+	cities = []string{
+		"Berlin", "Hamburg", "Munich", "Cologne", "Dresden", "Stuttgart",
+		"Phuket", "Banda Aceh", "Colombo", "Chennai", "Oslo", "Trondheim",
+	}
+	artists = []string{
+		"The Beatles", "Miles Davis", "Glenn Gould", "Nina Simone",
+		"Johnny Cash", "Ella Fitzgerald", "Bob Dylan", "Aretha Franklin",
+		"John Coltrane", "Joni Mitchell", "Herbert von Karajan", "Billie Holiday",
+	}
+	albumWords = []string{
+		"Blue", "Road", "Live", "Sessions", "Gold", "Night", "Dawn",
+		"Variations", "Concert", "Songs", "Portrait", "Legacy", "Echoes",
+	}
+	labels   = []string{"EMI", "Columbia", "Decca", "Verve", "Blue Note", "Deutsche Grammophon"}
+	statuses = []string{"missing", "hospital", "safe", "deceased", "evacuated"}
+	camps    = []string{"Camp North", "Camp South", "Relief Station 3", "Field Hospital A", "School Shelter"}
+)
+
+// Persons is the person-records domain (cleansing scenario).
+var Persons = &Domain{
+	Name:       "person",
+	Attributes: []string{"Name", "Age", "City", "Email", "Phone"},
+	generate: func(rng *rand.Rand, i int) map[string]value.Value {
+		first := firstNames[rng.Intn(len(firstNames))]
+		last := lastNames[rng.Intn(len(lastNames))]
+		name := first + " " + last
+		email := strings.ToLower(first) + "." + strings.ToLower(last) +
+			fmt.Sprintf("%d@example.com", i)
+		return map[string]value.Value{
+			"Name":  value.NewString(name),
+			"Age":   value.NewInt(int64(18 + rng.Intn(60))),
+			"City":  value.NewString(cities[rng.Intn(len(cities))]),
+			"Email": value.NewString(email),
+			"Phone": value.NewString(fmt.Sprintf("0%d-%06d", 30+rng.Intn(60), rng.Intn(1000000))),
+		}
+	},
+}
+
+// CDs is the CD-catalog domain (shopping-agent scenario).
+var CDs = &Domain{
+	Name:       "cd",
+	Attributes: []string{"Artist", "Title", "Year", "Price", "Label", "Tracks"},
+	generate: func(rng *rand.Rand, i int) map[string]value.Value {
+		title := albumWords[rng.Intn(len(albumWords))] + " " +
+			albumWords[rng.Intn(len(albumWords))] + fmt.Sprintf(" %d", i)
+		return map[string]value.Value{
+			"Artist": value.NewString(artists[rng.Intn(len(artists))]),
+			"Title":  value.NewString(title),
+			"Year":   value.NewInt(int64(1955 + rng.Intn(50))),
+			"Price":  value.NewFloat(float64(499+rng.Intn(2000)) / 100),
+			"Label":  value.NewString(labels[rng.Intn(len(labels))]),
+			"Tracks": value.NewInt(int64(8 + rng.Intn(16))),
+		}
+	},
+}
+
+// Crisis is the disaster-records domain (tsunami scenario).
+var Crisis = &Domain{
+	Name:       "crisis",
+	Attributes: []string{"Name", "Status", "Location", "Reported", "Shelter"},
+	generate: func(rng *rand.Rand, i int) map[string]value.Value {
+		first := firstNames[rng.Intn(len(firstNames))]
+		last := lastNames[rng.Intn(len(lastNames))]
+		day := 1 + rng.Intn(28)
+		return map[string]value.Value{
+			"Name":     value.NewString(first + " " + last),
+			"Status":   value.NewString(statuses[rng.Intn(len(statuses))]),
+			"Location": value.NewString(cities[rng.Intn(len(cities))]),
+			"Reported": value.NewString(fmt.Sprintf("2005-01-%02d", day)),
+			"Shelter":  value.NewString(camps[rng.Intn(len(camps))]),
+		}
+	},
+}
+
+// SourceSpec describes one dirty observation of a set of entities: a
+// data source with its own schema labels, coverage and error profile.
+type SourceSpec struct {
+	// Alias names the source.
+	Alias string
+	// Renames maps canonical attribute names to this source's labels
+	// (schematic heterogeneity). Unmapped attributes keep their name.
+	Renames map[string]string
+	// DropAttrs lists canonical attributes this source does not store
+	// (different levels of detail).
+	DropAttrs []string
+	// Coverage is the fraction of entities this source observes.
+	// Zero means 1.0.
+	Coverage float64
+	// TypoRate is the per-string-cell probability of a typo.
+	TypoRate float64
+	// NullRate is the per-cell probability of a missing value.
+	NullRate float64
+	// NumericNoise perturbs numeric cells by ±(noise·value) with the
+	// given probability... interpreted as probability; the magnitude
+	// is a few percent (conflicting values at different accuracy).
+	NumericNoise float64
+	// Seed makes the source's dirt deterministic.
+	Seed int64
+}
+
+// Observation is a generated relation plus its ground truth.
+type Observation struct {
+	// Rel is the dirty relation.
+	Rel *relation.Relation
+	// EntityIDs gives the true entity of each row.
+	EntityIDs []int
+}
+
+// Observe produces a dirty view of the entities according to spec.
+// Attribute order follows the domain, with renames applied.
+func Observe(d *Domain, entities []Entity, spec SourceSpec) *Observation {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	coverage := spec.Coverage
+	if coverage <= 0 {
+		coverage = 1
+	}
+	dropped := map[string]bool{}
+	for _, a := range spec.DropAttrs {
+		dropped[a] = true
+	}
+	var cols []string
+	var canonical []string
+	for _, a := range d.Attributes {
+		if dropped[a] {
+			continue
+		}
+		canonical = append(canonical, a)
+		if r, ok := spec.Renames[a]; ok {
+			cols = append(cols, r)
+		} else {
+			cols = append(cols, a)
+		}
+	}
+	rel := relation.New(spec.Alias, mustSchema(cols))
+	obs := &Observation{Rel: rel}
+	for _, e := range entities {
+		if rng.Float64() >= coverage {
+			continue
+		}
+		row := make(relation.Row, len(canonical))
+		for i, a := range canonical {
+			row[i] = dirty(rng, e.Fields[a], spec)
+		}
+		rel.MustAppend(row)
+		obs.EntityIDs = append(obs.EntityIDs, e.ID)
+	}
+	return obs
+}
+
+// ObserveShuffled is Observe with the rows in random order (sources
+// rarely agree on order; duplicate discovery must not rely on it).
+func ObserveShuffled(d *Domain, entities []Entity, spec SourceSpec) *Observation {
+	obs := Observe(d, entities, spec)
+	rng := rand.New(rand.NewSource(spec.Seed + 7919))
+	n := obs.Rel.Len()
+	perm := rng.Perm(n)
+	shuffled := relation.New(obs.Rel.Name(), obs.Rel.Schema())
+	ids := make([]int, n)
+	for to, from := range perm {
+		shuffled.MustAppend(obs.Rel.Row(from))
+		ids[to] = obs.EntityIDs[from]
+	}
+	return &Observation{Rel: shuffled, EntityIDs: ids}
+}
+
+// DirtyTable generates a single relation where each entity appears
+// dupesPer times with independent dirt — the duplicate-detection
+// workload (experiments E5/E6). Ground truth clusters are returned as
+// per-row entity ids.
+func DirtyTable(d *Domain, entities []Entity, dupesPer int, spec SourceSpec) *Observation {
+	rel := relation.New(spec.Alias, mustSchema(visibleCols(d, spec)))
+	obs := &Observation{Rel: rel}
+	for rep := 0; rep < dupesPer; rep++ {
+		repSpec := spec
+		repSpec.Seed = spec.Seed + int64(rep)*104729
+		o := Observe(d, entities, repSpec)
+		for i := 0; i < o.Rel.Len(); i++ {
+			rel.MustAppend(o.Rel.Row(i))
+			obs.EntityIDs = append(obs.EntityIDs, o.EntityIDs[i])
+		}
+	}
+	return obs
+}
+
+func visibleCols(d *Domain, spec SourceSpec) []string {
+	dropped := map[string]bool{}
+	for _, a := range spec.DropAttrs {
+		dropped[a] = true
+	}
+	var cols []string
+	for _, a := range d.Attributes {
+		if dropped[a] {
+			continue
+		}
+		if r, ok := spec.Renames[a]; ok {
+			cols = append(cols, r)
+		} else {
+			cols = append(cols, a)
+		}
+	}
+	return cols
+}
+
+func mustSchema(cols []string) *schema.Schema {
+	return schema.FromNames(cols...)
+}
+
+// dirty applies the spec's error profile to one clean value.
+func dirty(rng *rand.Rand, v value.Value, spec SourceSpec) value.Value {
+	if v.IsNull() {
+		return v
+	}
+	if rng.Float64() < spec.NullRate {
+		return value.Null
+	}
+	switch v.Kind() {
+	case value.KindString:
+		if rng.Float64() < spec.TypoRate {
+			return value.NewString(Typo(rng, v.Str()))
+		}
+	case value.KindInt:
+		if rng.Float64() < spec.NumericNoise {
+			delta := int64(1 + rng.Intn(2))
+			if rng.Intn(2) == 0 {
+				delta = -delta
+			}
+			return value.NewInt(v.Int() + delta)
+		}
+	case value.KindFloat:
+		if rng.Float64() < spec.NumericNoise {
+			factor := 1 + (rng.Float64()-0.5)*0.06 // ±3%
+			return value.NewFloat(float64(int(v.Float()*factor*100)) / 100)
+		}
+	}
+	return v
+}
+
+// Typo injects one random character-level error: transposition,
+// deletion, substitution or duplication.
+func Typo(rng *rand.Rand, s string) string {
+	runes := []rune(s)
+	if len(runes) < 2 {
+		return s + "x"
+	}
+	i := rng.Intn(len(runes) - 1)
+	switch rng.Intn(4) {
+	case 0: // transpose
+		runes[i], runes[i+1] = runes[i+1], runes[i]
+		return string(runes)
+	case 1: // delete
+		return string(append(runes[:i], runes[i+1:]...))
+	case 2: // substitute
+		runes[i] = rune('a' + rng.Intn(26))
+		return string(runes)
+	default: // duplicate
+		out := make([]rune, 0, len(runes)+1)
+		out = append(out, runes[:i+1]...)
+		out = append(out, runes[i])
+		out = append(out, runes[i+1:]...)
+		return string(out)
+	}
+}

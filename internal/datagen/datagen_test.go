@@ -1,0 +1,206 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"hummer/internal/value"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Persons.Generate(42, 10)
+	b := Persons.Generate(42, 10)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("entity counts %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		for _, attr := range Persons.Attributes {
+			if !a[i].Fields[attr].Equal(b[i].Fields[attr]) {
+				t.Fatalf("entity %d attr %s differs across same-seed runs", i, attr)
+			}
+		}
+	}
+	c := Persons.Generate(43, 10)
+	same := true
+	for i := range a {
+		if !a[i].Fields["Name"].Equal(c[i].Fields["Name"]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical names")
+	}
+}
+
+func TestDomainsProduceAllAttributes(t *testing.T) {
+	for _, d := range []*Domain{Persons, CDs, Crisis} {
+		ents := d.Generate(1, 5)
+		for _, e := range ents {
+			for _, a := range d.Attributes {
+				if _, ok := e.Fields[a]; !ok {
+					t.Errorf("%s: entity missing attribute %q", d.Name, a)
+				}
+			}
+		}
+	}
+}
+
+func TestObserveCleanSpec(t *testing.T) {
+	ents := Persons.Generate(1, 20)
+	obs := Observe(Persons, ents, SourceSpec{Alias: "s", Seed: 1})
+	if obs.Rel.Len() != 20 {
+		t.Fatalf("rows = %d, want all 20 at full coverage", obs.Rel.Len())
+	}
+	if len(obs.EntityIDs) != obs.Rel.Len() {
+		t.Fatal("entity ids not aligned")
+	}
+	// Clean spec: values match the canonical entity fields.
+	for i := 0; i < obs.Rel.Len(); i++ {
+		e := ents[obs.EntityIDs[i]]
+		if got := obs.Rel.Value(i, "Name"); !got.Equal(e.Fields["Name"]) {
+			t.Errorf("row %d name = %v, want %v", i, got, e.Fields["Name"])
+		}
+	}
+}
+
+func TestObserveRenamesAndDrops(t *testing.T) {
+	ents := Persons.Generate(1, 5)
+	obs := Observe(Persons, ents, SourceSpec{
+		Alias:     "s",
+		Renames:   map[string]string{"Name": "FullName", "City": "Town"},
+		DropAttrs: []string{"Phone"},
+		Seed:      1,
+	})
+	s := obs.Rel.Schema()
+	if !s.Has("FullName") || !s.Has("Town") {
+		t.Errorf("renames not applied: %v", s.Names())
+	}
+	if s.Has("Name") || s.Has("City") || s.Has("Phone") {
+		t.Errorf("old/dropped columns present: %v", s.Names())
+	}
+}
+
+func TestObserveCoverage(t *testing.T) {
+	ents := Persons.Generate(1, 200)
+	obs := Observe(Persons, ents, SourceSpec{Alias: "s", Coverage: 0.5, Seed: 1})
+	if obs.Rel.Len() < 60 || obs.Rel.Len() > 140 {
+		t.Errorf("coverage 0.5 over 200 gave %d rows", obs.Rel.Len())
+	}
+}
+
+func TestObserveNullRate(t *testing.T) {
+	ents := Persons.Generate(1, 100)
+	obs := Observe(Persons, ents, SourceSpec{Alias: "s", NullRate: 0.3, Seed: 1})
+	nulls := 0
+	total := 0
+	for i := 0; i < obs.Rel.Len(); i++ {
+		for _, v := range obs.Rel.Row(i) {
+			total++
+			if v.IsNull() {
+				nulls++
+			}
+		}
+	}
+	frac := float64(nulls) / float64(total)
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("null fraction = %g, want ≈0.3", frac)
+	}
+}
+
+func TestObserveTypoRateChangesStrings(t *testing.T) {
+	ents := Persons.Generate(1, 100)
+	obs := Observe(Persons, ents, SourceSpec{Alias: "s", TypoRate: 1.0, Seed: 1})
+	changed := 0
+	for i := 0; i < obs.Rel.Len(); i++ {
+		e := ents[obs.EntityIDs[i]]
+		if obs.Rel.Value(i, "Name").Text() != e.Fields["Name"].Text() {
+			changed++
+		}
+	}
+	if changed < 90 {
+		t.Errorf("typo rate 1.0 changed only %d/100 names", changed)
+	}
+}
+
+func TestObserveShuffledPreservesAlignment(t *testing.T) {
+	ents := Persons.Generate(1, 50)
+	obs := ObserveShuffled(Persons, ents, SourceSpec{Alias: "s", Seed: 3})
+	if obs.Rel.Len() != 50 {
+		t.Fatalf("rows = %d", obs.Rel.Len())
+	}
+	for i := 0; i < obs.Rel.Len(); i++ {
+		e := ents[obs.EntityIDs[i]]
+		if got := obs.Rel.Value(i, "Email"); !got.Equal(e.Fields["Email"]) {
+			t.Fatalf("row %d misaligned after shuffle", i)
+		}
+	}
+}
+
+func TestDirtyTableGroundTruth(t *testing.T) {
+	ents := Persons.Generate(1, 30)
+	obs := DirtyTable(Persons, ents, 3, SourceSpec{Alias: "t", TypoRate: 0.2, Seed: 5})
+	if obs.Rel.Len() != 90 {
+		t.Fatalf("rows = %d, want 30×3", obs.Rel.Len())
+	}
+	counts := map[int]int{}
+	for _, id := range obs.EntityIDs {
+		counts[id]++
+	}
+	for id, c := range counts {
+		if c != 3 {
+			t.Errorf("entity %d appears %d times, want 3", id, c)
+		}
+	}
+}
+
+func TestTypoAlwaysChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		s := "Jonathan Smith"
+		mutated := Typo(rng, s)
+		if mutated == s {
+			// A substitution can pick the same rune; run a few more
+			// trials before calling it broken.
+			continue
+		}
+		return
+	}
+	t.Error("200 typo attempts never changed the string")
+}
+
+func TestTypoShortStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Typo(rng, "a"); got == "a" {
+		t.Errorf("single-char typo = %q", got)
+	}
+	if got := Typo(rng, ""); got == "" {
+		t.Errorf("empty typo = %q", got)
+	}
+}
+
+func TestNumericNoise(t *testing.T) {
+	ents := CDs.Generate(1, 100)
+	obs := Observe(CDs, ents, SourceSpec{Alias: "s", NumericNoise: 1.0, Seed: 2})
+	changedYears := 0
+	for i := 0; i < obs.Rel.Len(); i++ {
+		e := ents[obs.EntityIDs[i]]
+		y := obs.Rel.Value(i, "Year")
+		if !y.IsNull() && !y.Equal(e.Fields["Year"]) {
+			changedYears++
+			diff := y.Int() - e.Fields["Year"].Int()
+			if diff < -2 || diff > 2 || diff == 0 {
+				t.Errorf("year noise %d out of ±2", diff)
+			}
+		}
+	}
+	if changedYears < 80 {
+		t.Errorf("noise 1.0 changed only %d/100 years", changedYears)
+	}
+}
+
+func TestDirtyNullStaysNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := dirty(rng, value.Null, SourceSpec{TypoRate: 1}); !got.IsNull() {
+		t.Error("NULL must stay NULL")
+	}
+}

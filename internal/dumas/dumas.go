@@ -1,0 +1,333 @@
+// Package dumas implements the DUMAS duplicate-based schema matching
+// algorithm (Bilke & Naumann, ICDE 2005) as used by HumMer's first
+// pipeline phase.
+//
+// The algorithm exploits the presence of duplicates across unaligned
+// tables: it first finds a few likely duplicate tuple pairs by treating
+// each tuple as a single string and ranking cross-table pairs with
+// TFIDF cosine similarity; it then compares each duplicate pair
+// field-wise with SoftTFIDF, averages the resulting per-pair similarity
+// matrices, computes a maximum-weight bipartite matching over the
+// averaged matrix, and prunes correspondences below a threshold,
+// yielding 1:1 attribute correspondences.
+package dumas
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hummer/internal/assign"
+	"hummer/internal/relation"
+	"hummer/internal/strsim"
+	"hummer/internal/value"
+)
+
+// Config tunes the matcher. The zero Config is usable: Default fills
+// in the paper-faithful settings.
+type Config struct {
+	// MaxDuplicates is the number k of most-similar tuple pairs used
+	// as presumed duplicates for field-wise comparison. DUMAS needs
+	// only a handful; default 10.
+	MaxDuplicates int
+	// MinTupleSim is the minimum whole-tuple TFIDF similarity for a
+	// pair to be considered a duplicate at all; default 0.25.
+	MinTupleSim float64
+	// Threshold prunes attribute correspondences whose averaged
+	// field similarity falls below it; default 0.35.
+	Threshold float64
+}
+
+// Default returns the paper-faithful configuration.
+func Default() Config {
+	return Config{MaxDuplicates: 10, MinTupleSim: 0.25, Threshold: 0.35}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.MaxDuplicates <= 0 {
+		c.MaxDuplicates = d.MaxDuplicates
+	}
+	if c.MinTupleSim <= 0 {
+		c.MinTupleSim = d.MinTupleSim
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = d.Threshold
+	}
+	return c
+}
+
+// TuplePair is one presumed duplicate found during the discovery step.
+type TuplePair struct {
+	LeftRow, RightRow int
+	Sim               float64
+}
+
+// Correspondence is one matched attribute pair between two relations.
+type Correspondence struct {
+	LeftCol, RightCol string
+	LeftIdx, RightIdx int
+	Score             float64
+}
+
+// Result carries the output of matching two relations.
+type Result struct {
+	// Correspondences are the pruned 1:1 attribute matches, ordered
+	// by descending score.
+	Correspondences []Correspondence
+	// Duplicates are the tuple pairs the matching was derived from.
+	Duplicates []TuplePair
+	// Matrix is the averaged field-similarity matrix
+	// (left attrs × right attrs), exposed for the demo's
+	// "adjust matching" wizard step and for diagnostics.
+	Matrix [][]float64
+}
+
+// Match derives attribute correspondences between two unaligned
+// relations. It returns an error when either relation is empty —
+// instance-based matching has nothing to work with then.
+func Match(left, right *relation.Relation, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if left.Len() == 0 || right.Len() == 0 {
+		return nil, fmt.Errorf("dumas: relation %q or %q is empty; instance-based matching needs rows",
+			left.Name(), right.Name())
+	}
+	dups := FindDuplicates(left, right, cfg.MaxDuplicates, cfg.MinTupleSim)
+	if len(dups) == 0 {
+		return &Result{}, nil
+	}
+	matrix := averagedFieldMatrix(left, right, dups)
+	pairs := assign.MaxWeight(matrix)
+	var corrs []Correspondence
+	for _, p := range pairs {
+		if p.Weight < cfg.Threshold {
+			continue
+		}
+		corrs = append(corrs, Correspondence{
+			LeftCol:  left.Schema().Col(p.Row).Name,
+			RightCol: right.Schema().Col(p.Col).Name,
+			LeftIdx:  p.Row,
+			RightIdx: p.Col,
+			Score:    p.Weight,
+		})
+	}
+	sort.Slice(corrs, func(i, j int) bool { return corrs[i].Score > corrs[j].Score })
+	return &Result{Correspondences: corrs, Duplicates: dups, Matrix: matrix}, nil
+}
+
+// tupleText renders a whole tuple as one string, DUMAS's
+// "tuple as a single document" view.
+func tupleText(row relation.Row) string {
+	parts := make([]string, 0, len(row))
+	for _, v := range row {
+		if !v.IsNull() {
+			parts = append(parts, v.Text())
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// FindDuplicates performs the duplicate-discovery step: rank cross-
+// table tuple pairs by whole-tuple TFIDF similarity and return the top
+// maxDups pairs above minSim. Candidate pairs are generated through an
+// inverted token index so that only pairs sharing at least one token
+// are scored (the "efficient" part of DUMAS).
+//
+// Each left and right tuple participates in at most one returned pair:
+// a real-world entity should contribute one aligned observation, and
+// reusing a tuple would bias the averaged field matrix toward it.
+func FindDuplicates(left, right *relation.Relation, maxDups int, minSim float64) []TuplePair {
+	corpus := strsim.NewCorpus()
+	leftTokens := make([][]string, left.Len())
+	rightTokens := make([][]string, right.Len())
+	for i := 0; i < left.Len(); i++ {
+		leftTokens[i] = strsim.Tokenize(tupleText(left.Row(i)))
+		corpus.AddDoc(leftTokens[i])
+	}
+	for i := 0; i < right.Len(); i++ {
+		rightTokens[i] = strsim.Tokenize(tupleText(right.Row(i)))
+		corpus.AddDoc(rightTokens[i])
+	}
+	leftVecs := make([]strsim.Vector, left.Len())
+	for i, toks := range leftTokens {
+		leftVecs[i] = corpus.TFIDFVector(toks)
+	}
+	rightVecs := make([]strsim.Vector, right.Len())
+	for i, toks := range rightTokens {
+		rightVecs[i] = corpus.TFIDFVector(toks)
+	}
+
+	// Inverted index over right tuples: token → tuple ids.
+	index := map[string][]int{}
+	for i, toks := range rightTokens {
+		seen := map[string]bool{}
+		for _, t := range toks {
+			if !seen[t] {
+				seen[t] = true
+				index[t] = append(index[t], i)
+			}
+		}
+	}
+
+	var pairs []TuplePair
+	for li, toks := range leftTokens {
+		cands := map[int]bool{}
+		for _, t := range toks {
+			for _, ri := range index[t] {
+				cands[ri] = true
+			}
+		}
+		for ri := range cands {
+			sim := strsim.Cosine(leftVecs[li], rightVecs[ri])
+			if sim >= minSim {
+				pairs = append(pairs, TuplePair{LeftRow: li, RightRow: ri, Sim: sim})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Sim != pairs[j].Sim {
+			return pairs[i].Sim > pairs[j].Sim
+		}
+		if pairs[i].LeftRow != pairs[j].LeftRow {
+			return pairs[i].LeftRow < pairs[j].LeftRow
+		}
+		return pairs[i].RightRow < pairs[j].RightRow
+	})
+	usedL := map[int]bool{}
+	usedR := map[int]bool{}
+	var top []TuplePair
+	for _, p := range pairs {
+		if len(top) >= maxDups {
+			break
+		}
+		if usedL[p.LeftRow] || usedR[p.RightRow] {
+			continue
+		}
+		usedL[p.LeftRow] = true
+		usedR[p.RightRow] = true
+		top = append(top, p)
+	}
+	return top
+}
+
+// averagedFieldMatrix compares each duplicate pair field-wise with
+// SoftTFIDF and averages the matrices, as in DUMAS. The corpus for
+// SoftTFIDF's IDF weights is built per attribute pair from the two
+// columns' values.
+func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair) [][]float64 {
+	nl, nr := left.Schema().Len(), right.Schema().Len()
+
+	// Column corpora: token statistics per column, so that IDF
+	// reflects how identifying a token is within its attribute.
+	colCorpus := strsim.NewCorpus()
+	for i := 0; i < left.Len(); i++ {
+		for _, v := range left.Row(i) {
+			if !v.IsNull() {
+				colCorpus.AddText(v.Text())
+			}
+		}
+	}
+	for i := 0; i < right.Len(); i++ {
+		for _, v := range right.Row(i) {
+			if !v.IsNull() {
+				colCorpus.AddText(v.Text())
+			}
+		}
+	}
+
+	sum := make([][]float64, nl)
+	cnt := make([][]int, nl)
+	for i := range sum {
+		sum[i] = make([]float64, nr)
+		cnt[i] = make([]int, nr)
+	}
+	for _, d := range dups {
+		lrow, rrow := left.Row(d.LeftRow), right.Row(d.RightRow)
+		for i := 0; i < nl; i++ {
+			for j := 0; j < nr; j++ {
+				lv, rv := lrow[i], rrow[j]
+				// NULL on either side gives no evidence for or
+				// against the correspondence; skip the cell.
+				if lv.IsNull() || rv.IsNull() {
+					continue
+				}
+				sum[i][j] += fieldSim(colCorpus, lv, rv)
+				cnt[i][j]++
+			}
+		}
+	}
+	avg := make([][]float64, nl)
+	for i := range avg {
+		avg[i] = make([]float64, nr)
+		for j := range avg[i] {
+			if cnt[i][j] > 0 {
+				avg[i][j] = sum[i][j] / float64(cnt[i][j])
+			}
+		}
+	}
+	return avg
+}
+
+// fieldSim compares two non-null field values: numerics by relative
+// distance, everything else by SoftTFIDF over the value texts.
+func fieldSim(c *strsim.Corpus, a, b value.Value) float64 {
+	if af, ok := a.AsFloat(); ok {
+		if bf, ok := b.AsFloat(); ok {
+			return strsim.NumericSim(af, bf)
+		}
+	}
+	return c.SoftTFIDF(a.Text(), b.Text())
+}
+
+// NaiveMatch is the D1 ablation baseline: match columns directly by
+// the cosine similarity of their whole-column token distributions,
+// without discovering duplicates first. It is cheaper but confuses
+// columns that share vocabulary (e.g. two different name columns).
+func NaiveMatch(left, right *relation.Relation, threshold float64) *Result {
+	nl, nr := left.Schema().Len(), right.Schema().Len()
+	corpus := strsim.NewCorpus()
+	colText := func(rel *relation.Relation, col int) []string {
+		var tokens []string
+		for i := 0; i < rel.Len(); i++ {
+			v := rel.Row(i)[col]
+			if !v.IsNull() {
+				tokens = append(tokens, strsim.Tokenize(v.Text())...)
+			}
+		}
+		return tokens
+	}
+	leftCols := make([][]string, nl)
+	for i := range leftCols {
+		leftCols[i] = colText(left, i)
+		corpus.AddDoc(leftCols[i])
+	}
+	rightCols := make([][]string, nr)
+	for j := range rightCols {
+		rightCols[j] = colText(right, j)
+		corpus.AddDoc(rightCols[j])
+	}
+	matrix := make([][]float64, nl)
+	for i := range matrix {
+		matrix[i] = make([]float64, nr)
+		vi := corpus.TFIDFVector(leftCols[i])
+		for j := range matrix[i] {
+			matrix[i][j] = strsim.Cosine(vi, corpus.TFIDFVector(rightCols[j]))
+		}
+	}
+	pairs := assign.MaxWeight(matrix)
+	var corrs []Correspondence
+	for _, p := range pairs {
+		if p.Weight < threshold {
+			continue
+		}
+		corrs = append(corrs, Correspondence{
+			LeftCol:  left.Schema().Col(p.Row).Name,
+			RightCol: right.Schema().Col(p.Col).Name,
+			LeftIdx:  p.Row,
+			RightIdx: p.Col,
+			Score:    p.Weight,
+		})
+	}
+	sort.Slice(corrs, func(i, j int) bool { return corrs[i].Score > corrs[j].Score })
+	return &Result{Correspondences: corrs, Matrix: matrix}
+}

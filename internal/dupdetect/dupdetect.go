@@ -1,0 +1,650 @@
+// Package dupdetect implements HumMer's duplicate-detection phase: the
+// DogmatiX algorithm (Weis & Naumann, SIGMOD 2005) mapped from XML to
+// the relational world, as §2.3 of the demo paper describes.
+//
+// Tuples of one (already schema-aligned) relation are compared
+// pairwise with a similarity measure that (i) distinguishes matched
+// from unmatched attributes, (ii) compares matched attribute values
+// with edit and numeric distance, (iii) weighs each data item by its
+// identifying power (a soft version of IDF), and (iv) lets
+// contradictory data reduce similarity while missing data has no
+// influence. A cheap upper bound filters pairs before the expensive
+// measure runs. Pairs above a threshold are duplicates; the transitive
+// closure over duplicate pairs forms clusters, and an objectID column
+// identifying each cluster is appended to the relation.
+package dupdetect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/strsim"
+	"hummer/internal/value"
+)
+
+// ObjectIDColumn is the name of the cluster-identifier column the
+// detector appends, as in the paper.
+const ObjectIDColumn = "objectID"
+
+// SourceIDColumn is the provenance column added by the transformation
+// phase; the attribute-selection heuristics always exclude it.
+const SourceIDColumn = "sourceID"
+
+// matchCutoff separates "matched but similar" from "matched but
+// contradictory" attribute values (criterion iv).
+const matchCutoff = 0.75
+
+// Config tunes the detector. The zero Config is usable; Default fills
+// in paper-faithful settings.
+type Config struct {
+	// Threshold is the tuple-similarity duplicate threshold;
+	// default 0.8.
+	Threshold float64
+	// Attributes overrides the heuristic attribute selection ("adjust
+	// duplicate definition" in the wizard). Empty means: use the
+	// heuristics.
+	Attributes []string
+	// DisableFilter turns the upper-bound filter off (ablation D4).
+	DisableFilter bool
+	// NoContradictionPenalty makes contradictory values behave like
+	// missing values (ablation D3).
+	NoContradictionPenalty bool
+	// Window, when positive, switches candidate generation from the
+	// exhaustive O(n²) pairing to the sorted-neighborhood method:
+	// rows are sorted by a sorting key concatenated from the selected
+	// attributes, and only rows within the window are compared. This
+	// trades a little recall (duplicates whose keys sort far apart)
+	// for near-linear comparison cost — the standard scale-up for
+	// duplicate detection.
+	Window int
+}
+
+// Default returns the paper-faithful configuration.
+func Default() Config { return Config{Threshold: 0.8} }
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = Default().Threshold
+	}
+	return c
+}
+
+// ScoredPair is one compared tuple pair with its similarity.
+type ScoredPair struct {
+	A, B int
+	Sim  float64
+}
+
+// Stats reports the work the detector performed — E6 measures the
+// filter's effect through these numbers.
+type Stats struct {
+	// CandidatePairs is the number of pairs considered (n·(n-1)/2).
+	CandidatePairs int
+	// FilteredOut is how many pairs the upper bound discarded before
+	// the expensive measure ran.
+	FilteredOut int
+	// Compared is how many pairs ran the full similarity measure.
+	Compared int
+}
+
+// Result is the detector's output.
+type Result struct {
+	// ObjectIDs assigns each input row its cluster id, 0-based,
+	// numbered in order of each cluster's first row.
+	ObjectIDs []int
+	// Clusters lists row indices per cluster, each sorted ascending.
+	Clusters [][]int
+	// Duplicates are the pairs scored at or above the threshold.
+	Duplicates []ScoredPair
+	// Borderline are pairs in [0.9·threshold, threshold): the demo
+	// GUI shows these as "unsure cases" for the user to decide.
+	Borderline []ScoredPair
+	// SelectedAttributes are the attributes the similarity used.
+	SelectedAttributes []string
+	// Stats reports comparison counts.
+	Stats Stats
+}
+
+// Detect finds duplicate clusters in rel.
+func Detect(rel *relation.Relation, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	attrs := cfg.Attributes
+	if len(attrs) == 0 {
+		attrs = SelectAttributes(rel)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("dupdetect: no usable attributes in %s", rel.Schema())
+	}
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := rel.Schema().Lookup(a)
+		if !ok {
+			return nil, fmt.Errorf("dupdetect: no attribute %q in %s", a, rel.Schema())
+		}
+		cols[i] = j
+	}
+
+	m := newMeasure(rel, cols, cfg)
+	n := rel.Len()
+	res := &Result{SelectedAttributes: attrs}
+	dsu := newUnionFind(n)
+	score := func(a, b int) {
+		res.Stats.CandidatePairs++
+		if !cfg.DisableFilter && m.upperBound(a, b) < cfg.Threshold {
+			res.Stats.FilteredOut++
+			return
+		}
+		res.Stats.Compared++
+		sim := m.similarity(a, b)
+		switch {
+		case sim >= cfg.Threshold:
+			res.Duplicates = append(res.Duplicates, ScoredPair{A: a, B: b, Sim: sim})
+			dsu.union(a, b)
+		case sim >= cfg.Threshold*0.9:
+			res.Borderline = append(res.Borderline, ScoredPair{A: a, B: b, Sim: sim})
+		}
+	}
+	if cfg.Window > 0 {
+		for _, pair := range neighborhoodPairs(rel, cols, cfg.Window) {
+			score(pair[0], pair[1])
+		}
+	} else {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				score(a, b)
+			}
+		}
+	}
+	res.ObjectIDs, res.Clusters = dsu.clusters()
+	return res, nil
+}
+
+// neighborhoodPairs implements the sorted-neighborhood candidate
+// generation: rows are ordered by a normalized key concatenated from
+// the selected attributes and every pair within `window` positions is
+// a candidate. Pairs are returned with a < b and no duplicates.
+func neighborhoodPairs(rel *relation.Relation, cols []int, window int) [][2]int {
+	n := rel.Len()
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		for _, j := range cols {
+			v := rel.Row(i)[j]
+			if !v.IsNull() {
+				b.WriteString(strings.ToLower(v.Text()))
+				b.WriteByte(' ')
+			}
+		}
+		keys[i] = b.String()
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return keys[order[x]] < keys[order[y]] })
+	var pairs [][2]int
+	for pos := 0; pos < n; pos++ {
+		for d := 1; d <= window && pos+d < n; d++ {
+			a, b := order[pos], order[pos+d]
+			if a > b {
+				a, b = b, a
+			}
+			pairs = append(pairs, [2]int{a, b})
+		}
+	}
+	return pairs
+}
+
+// AppendObjectID returns a copy of rel extended with the objectID
+// column from a detection result.
+func AppendObjectID(rel *relation.Relation, res *Result) (*relation.Relation, error) {
+	if len(res.ObjectIDs) != rel.Len() {
+		return nil, fmt.Errorf("dupdetect: result covers %d rows, relation has %d",
+			len(res.ObjectIDs), rel.Len())
+	}
+	s, err := rel.Schema().Append(schema.Column{Name: ObjectIDColumn, Type: value.KindInt})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(rel.Name(), s)
+	for i := 0; i < rel.Len(); i++ {
+		row := append(rel.Row(i).Clone(), value.NewInt(int64(res.ObjectIDs[i])))
+		if err := out.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- Attribute selection heuristics -------------------------------------
+
+// attrScore carries the heuristic sub-scores for one attribute; the
+// demo GUI shows these so users can understand and adjust the
+// selection.
+type attrScore struct {
+	Name string
+	// Coverage is the non-null fraction (criterion: usable).
+	Coverage float64
+	// Distinctness is distinct-values / non-null-values (criterion:
+	// likely to distinguish duplicates from non-duplicates).
+	Distinctness float64
+	// Usable reports whether the type works with the similarity
+	// measure (strings and numerics do; booleans carry ~1 bit).
+	Usable bool
+	Score  float64
+}
+
+// SelectAttributes applies the paper's heuristics to pick
+// "interesting" attributes: related to the object (all columns of the
+// relation are), usable by the similarity measure, and likely to
+// distinguish duplicates from non-duplicates. Bookkeeping columns
+// (sourceID, objectID) are always excluded. Selection is inclusive —
+// the similarity measure weighs attributes by identifying power, so
+// weak attributes are only excluded when they carry almost no signal
+// (constant or near-constant columns, booleans, all-null columns).
+func SelectAttributes(rel *relation.Relation) []string {
+	var out []string
+	for _, sc := range ScoreAttributes(rel) {
+		if sc.Usable && sc.Score >= 0.02 {
+			out = append(out, sc.Name)
+		}
+	}
+	return out
+}
+
+// ScoreAttributes computes the heuristic scores for every attribute.
+func ScoreAttributes(rel *relation.Relation) []attrScore {
+	s := rel.Schema()
+	var scores []attrScore
+	for j := 0; j < s.Len(); j++ {
+		name := s.Col(j).Name
+		if strings.EqualFold(name, SourceIDColumn) || strings.EqualFold(name, ObjectIDColumn) {
+			continue
+		}
+		nonNull := 0
+		distinct := map[uint64]bool{}
+		usable := true
+		for i := 0; i < rel.Len(); i++ {
+			v := rel.Row(i)[j]
+			if v.IsNull() {
+				continue
+			}
+			nonNull++
+			distinct[v.Hash()] = true
+			if v.Kind() == value.KindBool {
+				usable = false // a bit cannot distinguish entities
+			}
+		}
+		sc := attrScore{Name: name, Usable: usable}
+		if rel.Len() > 0 {
+			sc.Coverage = float64(nonNull) / float64(rel.Len())
+		}
+		if nonNull > 0 {
+			sc.Distinctness = float64(len(distinct)) / float64(nonNull)
+		}
+		if nonNull == 0 {
+			sc.Usable = false
+		}
+		// A constant column across a non-trivial table cannot
+		// distinguish entities. Tiny tables are exempt: with a
+		// handful of rows, agreement on the only attribute there is
+		// may be exactly the duplicate evidence.
+		if rel.Len() >= 10 && len(distinct) <= 1 {
+			sc.Usable = false
+		}
+		sc.Score = sc.Coverage * sc.Distinctness
+		scores = append(scores, sc)
+	}
+	return scores
+}
+
+// --- The similarity measure ----------------------------------------------
+
+// measure holds the precomputed state for pairwise comparison: column
+// indices, per-value identifying-power weights, and cached texts.
+type measure struct {
+	rel  *relation.Relation
+	cols []int
+	cfg  Config
+	// texts[i][k] is the lowercased text of row i, selected attr k.
+	texts [][]string
+	// weights[i][k] is the identifying power (soft IDF) of that value.
+	weights [][]float64
+	// nums[i][k] is the numeric image, NaN-free flagged by isNum.
+	nums  [][]float64
+	isNum [][]bool
+	null  [][]bool
+	// ranges[k] is the numeric value spread (max-min) of attribute k,
+	// used to normalize numeric distance: two years 30 apart are very
+	// different entities even though their relative difference is
+	// small.
+	ranges []float64
+	// charCounts[i][k] is the rune histogram of texts[i][k], backing
+	// the multiset upper bound on edit similarity.
+	charCounts [][]map[rune]int
+	// avgRowWeight is the mean total attribute weight of a row — the
+	// typical amount of evidence available. Pairs compared on much
+	// less (because values are missing) get their similarity scaled
+	// down: matching on one weak attribute alone must not clear the
+	// threshold.
+	avgRowWeight float64
+}
+
+// evidenceFraction is the fraction of the average row weight a pair
+// must actually compare to earn full confidence.
+const evidenceFraction = 0.3
+
+func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
+	n := rel.Len()
+	m := &measure{rel: rel, cols: cols, cfg: cfg}
+	// Identifying power: a corpus per attribute over that column's
+	// values ("soft version of IDF", criterion iii), combined with the
+	// attribute's distinctness — an attribute with near-unique values
+	// (a title, an email) identifies entities far better than one
+	// drawn from a small domain (a label, a city), so agreement or
+	// contradiction on it should weigh more.
+	corpora := make([]*strsim.Corpus, len(cols))
+	distinctness := make([]float64, len(cols))
+	for k, j := range cols {
+		c := strsim.NewCorpus()
+		distinct := map[uint64]bool{}
+		nonNull := 0
+		for i := 0; i < n; i++ {
+			if v := rel.Row(i)[j]; !v.IsNull() {
+				c.AddText(v.Text())
+				distinct[v.Hash()] = true
+				nonNull++
+			}
+		}
+		corpora[k] = c
+		if nonNull > 0 {
+			distinctness[k] = float64(len(distinct)) / float64(nonNull)
+		}
+	}
+	m.texts = make([][]string, n)
+	m.weights = make([][]float64, n)
+	m.nums = make([][]float64, n)
+	m.isNum = make([][]bool, n)
+	m.null = make([][]bool, n)
+	m.charCounts = make([][]map[rune]int, n)
+	m.ranges = make([]float64, len(cols))
+	mins := make([]float64, len(cols))
+	maxs := make([]float64, len(cols))
+	haveNum := make([]bool, len(cols))
+	for i := 0; i < n; i++ {
+		m.texts[i] = make([]string, len(cols))
+		m.weights[i] = make([]float64, len(cols))
+		m.nums[i] = make([]float64, len(cols))
+		m.isNum[i] = make([]bool, len(cols))
+		m.null[i] = make([]bool, len(cols))
+		m.charCounts[i] = make([]map[rune]int, len(cols))
+		for k, j := range cols {
+			v := rel.Row(i)[j]
+			if v.IsNull() {
+				m.null[i][k] = true
+				continue
+			}
+			m.texts[i][k] = strings.ToLower(v.Text())
+			m.charCounts[i][k] = runeHistogram(m.texts[i][k])
+			if f, ok := v.AsFloat(); ok {
+				m.nums[i][k] = f
+				m.isNum[i][k] = true
+				if !haveNum[k] || f < mins[k] {
+					mins[k] = f
+				}
+				if !haveNum[k] || f > maxs[k] {
+					maxs[k] = f
+				}
+				haveNum[k] = true
+			}
+			m.weights[i][k] = identifyingPower(corpora[k], v) * (0.25 + 0.75*distinctness[k])
+		}
+	}
+	for k := range cols {
+		if haveNum[k] {
+			m.ranges[k] = maxs[k] - mins[k]
+		}
+	}
+	if n > 0 {
+		var total float64
+		for i := 0; i < n; i++ {
+			for k := range cols {
+				total += m.weights[i][k] // zero for NULL cells
+			}
+		}
+		m.avgRowWeight = total / float64(n)
+	}
+	return m
+}
+
+func runeHistogram(s string) map[rune]int {
+	h := make(map[rune]int, len(s))
+	for _, r := range s {
+		h[r]++
+	}
+	return h
+}
+
+// identifyingPower is the mean soft IDF of the value's tokens — rare
+// values identify entities, frequent values do not.
+func identifyingPower(c *strsim.Corpus, v value.Value) float64 {
+	tokens := strsim.Tokenize(v.Text())
+	if len(tokens) == 0 {
+		return 0.5
+	}
+	var sum float64
+	for _, t := range tokens {
+		sum += c.SoftIDF(t)
+	}
+	return sum / float64(len(tokens))
+}
+
+// similarity is the full measure over the selected attributes:
+//
+//	sim(a,b) = Σ_matched w·s / (Σ_matched w + Σ_contradicting w)
+//
+// where an attribute is "matched" when both values are non-null and
+// their value similarity s reaches matchCutoff, "contradicting" when
+// both are non-null but dissimilar, and skipped entirely when either
+// is NULL (missing data has no influence, criterion iv). The weight w
+// is the mean identifying power of the two values.
+func (m *measure) similarity(a, b int) float64 {
+	var num, den, evidence float64
+	for k := range m.cols {
+		if m.null[a][k] || m.null[b][k] {
+			continue
+		}
+		s := m.valueSim(a, b, k)
+		w := (m.weights[a][k] + m.weights[b][k]) / 2
+		evidence += w
+		if s >= matchCutoff {
+			num += w * s
+			den += w
+		} else if !m.cfg.NoContradictionPenalty {
+			den += w
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den * m.evidenceFactor(evidence)
+}
+
+// evidenceFactor scales a pair's similarity by how much evidence was
+// actually compared relative to a typical row: a pair sharing only one
+// weak attribute (everything else missing) cannot be confidently
+// called a duplicate, while missing data otherwise keeps having no
+// influence (criterion iv).
+func (m *measure) evidenceFactor(evidence float64) float64 {
+	need := evidenceFraction * m.avgRowWeight
+	if need <= 0 || evidence >= need {
+		return 1
+	}
+	return evidence / need
+}
+
+// valueSim compares two non-null values of one attribute: numeric
+// distance when both are numeric, edit similarity otherwise
+// (criterion ii). Numeric distance is normalized by the attribute's
+// observed value spread, so that e.g. two ages 30 years apart read as
+// contradictory even though their relative difference is small.
+func (m *measure) valueSim(a, b, k int) float64 {
+	if m.isNum[a][k] && m.isNum[b][k] {
+		return m.numericSim(a, b, k)
+	}
+	return strsim.LevenshteinSim(m.texts[a][k], m.texts[b][k])
+}
+
+func (m *measure) numericSim(a, b, k int) float64 {
+	x, y := m.nums[a][k], m.nums[b][k]
+	if x == y {
+		return 1
+	}
+	if m.ranges[k] <= 0 {
+		return 0
+	}
+	d := (x - y) / m.ranges[k]
+	if d < 0 {
+		d = -d
+	}
+	if d > 1 {
+		return 0
+	}
+	// The curve is sharpened so that only values within a few percent
+	// of the attribute's spread count as matches (measurement noise),
+	// while moderately different values — which are common between
+	// distinct entities of a dense numeric domain — read as
+	// contradictions.
+	s := 1 - d
+	return s * s * s * s
+}
+
+// upperBound computes a cheap true upper bound of similarity(a,b):
+// numeric similarity is computed exactly (cheap); edit similarity is
+// bounded by the rune-multiset intersection, since every edit
+// operation fixes at most one character, so
+// Levenshtein(x,y) ≥ max(|x|,|y|) − |multiset(x) ∩ multiset(y)| and
+// hence LevenshteinSim(x,y) ≤ common/max. Attributes whose bound falls
+// below matchCutoff can at best contradict, which only lowers the
+// total, so the bound assumes matched attributes score their bound and
+// contradicting attributes do not exist.
+func (m *measure) upperBound(a, b int) float64 {
+	var num, den, evidence float64
+	any := false
+	for k := range m.cols {
+		if m.null[a][k] || m.null[b][k] {
+			continue
+		}
+		any = true
+		evidence += (m.weights[a][k] + m.weights[b][k]) / 2
+		var bound float64
+		if m.isNum[a][k] && m.isNum[b][k] {
+			bound = m.numericSim(a, b, k)
+		} else {
+			bound = editSimBound(m.texts[a][k], m.texts[b][k],
+				m.charCounts[a][k], m.charCounts[b][k])
+		}
+		if bound >= matchCutoff {
+			w := (m.weights[a][k] + m.weights[b][k]) / 2
+			num += w * bound
+			den += w
+		}
+	}
+	if !any || den == 0 {
+		return 0
+	}
+	// Optimistic: contradicting attributes contribute nothing to the
+	// denominator, so this ratio is ≥ the real similarity. The
+	// evidence factor uses the full compared weight, which is ≥ the
+	// true similarity's factor input, keeping the bound sound.
+	return num / den * m.evidenceFactor(evidence)
+}
+
+// editSimBound returns an upper bound of LevenshteinSim(a,b) in O(|a|+
+// |b|): the rune-multiset intersection over the longer length.
+func editSimBound(a, b string, ha, hb map[rune]int) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	if len(hb) < len(ha) {
+		ha, hb = hb, ha
+	}
+	common := 0
+	for r, ca := range ha {
+		cb := hb[r]
+		if cb < ca {
+			common += cb
+		} else {
+			common += ca
+		}
+	}
+	return float64(common) / float64(max)
+}
+
+// --- Union-find -----------------------------------------------------------
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// clusters returns per-row cluster ids (numbered by first appearance)
+// and the member lists.
+func (u *unionFind) clusters() ([]int, [][]int) {
+	ids := make([]int, len(u.parent))
+	var members [][]int
+	rootID := map[int]int{}
+	for i := range u.parent {
+		r := u.find(i)
+		id, ok := rootID[r]
+		if !ok {
+			id = len(members)
+			rootID[r] = id
+			members = append(members, nil)
+		}
+		ids[i] = id
+		members[id] = append(members[id], i)
+	}
+	for _, m := range members {
+		sort.Ints(m)
+	}
+	return ids, members
+}

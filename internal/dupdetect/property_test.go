@@ -1,0 +1,169 @@
+package dupdetect
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hummer/internal/relation"
+	"hummer/internal/value"
+)
+
+// randomDirtyTable builds a random table whose rows are noisy copies
+// of a random number of base entities, for property testing.
+func randomDirtyTable(rng *rand.Rand) *relation.Relation {
+	entities := 2 + rng.Intn(10)
+	b := relation.NewBuilder("t", "Name", "Code", "Score")
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	word := func(n int) string {
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(out)
+	}
+	for e := 0; e < entities; e++ {
+		name := word(4+rng.Intn(8)) + " " + word(4+rng.Intn(8))
+		code := fmt.Sprintf("%s-%04d", word(2), rng.Intn(10000))
+		score := rng.Float64() * 1000
+		copies := 1 + rng.Intn(3)
+		for c := 0; c < copies; c++ {
+			n, cd, sc := name, code, score
+			if rng.Float64() < 0.3 {
+				runes := []byte(n)
+				runes[rng.Intn(len(runes))] = letters[rng.Intn(len(letters))]
+				n = string(runes)
+			}
+			row := relation.Row{value.NewString(n), value.NewString(cd), value.NewFloat(sc)}
+			if rng.Float64() < 0.2 {
+				row[rng.Intn(3)] = value.Null
+			}
+			b.Add(row[0], row[1], row[2])
+		}
+	}
+	return b.Build()
+}
+
+// TestPropertyFilterSoundRandom: on random dirty tables, the filtered
+// and unfiltered runs must produce identical clusterings — the bound
+// is sound by construction, this guards regressions.
+func TestPropertyFilterSoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		rel := randomDirtyTable(rng)
+		for _, th := range []float64{0.6, 0.8, 0.95} {
+			on, err1 := Detect(rel, Config{Threshold: th})
+			off, err2 := Detect(rel, Config{Threshold: th, DisableFilter: true})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d: %v / %v", trial, err1, err2)
+			}
+			for i := range on.ObjectIDs {
+				if on.ObjectIDs[i] != off.ObjectIDs[i] {
+					t.Fatalf("trial %d th=%.2f: filter changed clustering at row %d\n%s",
+						trial, th, i, rel)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyClusterInvariants: cluster ids are dense, first-
+// appearance ordered, and partition the rows — for random inputs.
+func TestPropertyClusterInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 25; trial++ {
+		rel := randomDirtyTable(rng)
+		res, err := Detect(rel, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ObjectIDs) != rel.Len() {
+			t.Fatalf("trial %d: %d ids for %d rows", trial, len(res.ObjectIDs), rel.Len())
+		}
+		maxSeen := -1
+		for _, id := range res.ObjectIDs {
+			if id > maxSeen+1 {
+				t.Fatalf("trial %d: ids not dense: %v", trial, res.ObjectIDs)
+			}
+			if id == maxSeen+1 {
+				maxSeen = id
+			}
+		}
+		total := 0
+		for _, members := range res.Clusters {
+			total += len(members)
+		}
+		if total != rel.Len() {
+			t.Fatalf("trial %d: clusters cover %d of %d rows", trial, total, rel.Len())
+		}
+	}
+}
+
+// TestPropertyThresholdMonotone: raising the threshold can only break
+// clusters apart (the duplicate pair set shrinks), never create new
+// merges. Cluster count must be non-decreasing in the threshold.
+func TestPropertyThresholdMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rel := randomDirtyTable(rng)
+		prev := -1
+		for _, th := range []float64{0.5, 0.7, 0.9, 0.99} {
+			res, err := Detect(rel, Config{Threshold: th})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(res.Clusters)
+			if prev >= 0 && n < prev {
+				t.Fatalf("trial %d: clusters dropped from %d to %d as threshold rose to %.2f",
+					trial, prev, n, th)
+			}
+			prev = n
+		}
+	}
+}
+
+// TestPropertySimilaritySymmetric: the pair scores must not depend on
+// argument order (checked through the duplicate pair lists of a table
+// and its row-reversed twin being consistent).
+func TestPropertySimilaritySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		rel := randomDirtyTable(rng)
+		cols := make([]int, rel.Schema().Len())
+		for i := range cols {
+			cols[i] = i
+		}
+		m := newMeasure(rel, cols, Config{Threshold: 0.8})
+		for a := 0; a < rel.Len(); a++ {
+			for b := a + 1; b < rel.Len(); b++ {
+				if s1, s2 := m.similarity(a, b), m.similarity(b, a); s1 != s2 {
+					t.Fatalf("similarity asymmetric: (%d,%d)=%g vs %g", a, b, s1, s2)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyUpperBoundDominates: the filter bound must be ≥ the true
+// similarity on every random pair — the soundness invariant itself.
+func TestPropertyUpperBoundDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		rel := randomDirtyTable(rng)
+		cols := make([]int, rel.Schema().Len())
+		for i := range cols {
+			cols[i] = i
+		}
+		m := newMeasure(rel, cols, Config{Threshold: 0.8})
+		for a := 0; a < rel.Len(); a++ {
+			for b := a + 1; b < rel.Len(); b++ {
+				ub := m.upperBound(a, b)
+				sim := m.similarity(a, b)
+				if ub < sim-1e-9 {
+					t.Fatalf("bound %g < similarity %g for rows %d,%d:\n%v\n%v",
+						ub, sim, a, b, rel.Row(a), rel.Row(b))
+				}
+			}
+		}
+	}
+}

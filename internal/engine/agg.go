@@ -1,0 +1,259 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// AggFunc is an incremental aggregate: Add consumes one input value,
+// Result produces the aggregate. Implementations are single-use.
+type AggFunc interface {
+	Add(v value.Value)
+	Result() value.Value
+}
+
+// AggFactory creates a fresh AggFunc per group.
+type AggFactory func() AggFunc
+
+// builtinAggs maps SQL aggregate names to factories. NULLs are ignored
+// by all aggregates except count(*), per SQL.
+var builtinAggs = map[string]AggFactory{
+	"count": func() AggFunc { return &countAgg{} },
+	"sum":   func() AggFunc { return &sumAgg{} },
+	"avg":   func() AggFunc { return &avgAgg{} },
+	"min":   func() AggFunc { return &minAgg{} },
+	"max":   func() AggFunc { return &maxAgg{} },
+}
+
+// LookupAgg returns the factory for a SQL aggregate name.
+func LookupAgg(name string) (AggFactory, bool) {
+	f, ok := builtinAggs[strings.ToLower(name)]
+	return f, ok
+}
+
+type countAgg struct{ n int64 }
+
+func (a *countAgg) Add(v value.Value) {
+	if !v.IsNull() {
+		a.n++
+	}
+}
+func (a *countAgg) Result() value.Value { return value.NewInt(a.n) }
+
+type sumAgg struct {
+	sum     float64
+	intSum  int64
+	allInt  bool
+	started bool
+}
+
+func (a *sumAgg) Add(v value.Value) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	if !a.started {
+		a.started = true
+		a.allInt = true
+	}
+	if v.Kind() == value.KindInt {
+		a.intSum += v.Int()
+	} else {
+		a.allInt = false
+	}
+	a.sum += f
+}
+
+func (a *sumAgg) Result() value.Value {
+	if !a.started {
+		return value.Null
+	}
+	if a.allInt {
+		return value.NewInt(a.intSum)
+	}
+	return value.NewFloat(a.sum)
+}
+
+type avgAgg struct {
+	sum float64
+	n   int64
+}
+
+func (a *avgAgg) Add(v value.Value) {
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+		a.n++
+	}
+}
+
+func (a *avgAgg) Result() value.Value {
+	if a.n == 0 {
+		return value.Null
+	}
+	return value.NewFloat(a.sum / float64(a.n))
+}
+
+type minAgg struct {
+	best value.Value
+}
+
+func (a *minAgg) Add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	if a.best.IsNull() || v.Compare(a.best) < 0 {
+		a.best = v
+	}
+}
+func (a *minAgg) Result() value.Value { return a.best }
+
+type maxAgg struct {
+	best value.Value
+}
+
+func (a *maxAgg) Add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	if a.best.IsNull() || v.Compare(a.best) > 0 {
+		a.best = v
+	}
+}
+func (a *maxAgg) Result() value.Value { return a.best }
+
+// AggSpec is one aggregated output column: apply Factory to input
+// column Col, emitting output column As. Col == "*" with a count
+// factory implements count(*).
+type AggSpec struct {
+	Factory AggFactory
+	Col     string
+	As      string
+}
+
+// Group implements hash grouping with aggregation. Output columns are
+// the group-by keys followed by the aggregates. Groups are emitted in
+// first-appearance order (deterministic, unlike map iteration).
+type Group struct {
+	in     Operator
+	keys   []string
+	specs  []AggSpec
+	out    *schema.Schema
+	groups []*groupState
+	pos    int
+}
+
+type groupState struct {
+	key  relation.Row
+	aggs []AggFunc
+}
+
+// NewGroup builds a grouping operator over keys with the given
+// aggregate specs. An empty key list aggregates the whole input into a
+// single row.
+func NewGroup(in Operator, keys []string, specs []AggSpec) (*Group, error) {
+	s := in.Schema()
+	cols := make([]schema.Column, 0, len(keys)+len(specs))
+	for _, k := range keys {
+		i, ok := s.Lookup(k)
+		if !ok {
+			return nil, fmt.Errorf("engine: group: no column %q", k)
+		}
+		cols = append(cols, s.Col(i))
+	}
+	for _, sp := range specs {
+		if sp.Col != "*" {
+			if _, ok := s.Lookup(sp.Col); !ok {
+				return nil, fmt.Errorf("engine: group: no aggregate input column %q", sp.Col)
+			}
+		}
+		cols = append(cols, schema.Column{Name: sp.As})
+	}
+	return &Group{in: in, keys: keys, specs: specs, out: schema.New(cols...)}, nil
+}
+
+// Schema returns keys ++ aggregates.
+func (g *Group) Schema() *schema.Schema { return g.out }
+
+// Open consumes the whole input, building group states.
+func (g *Group) Open() error {
+	if err := g.in.Open(); err != nil {
+		return err
+	}
+	s := g.in.Schema()
+	keyIdx := make([]int, len(g.keys))
+	for i, k := range g.keys {
+		keyIdx[i] = s.MustLookup(k)
+	}
+	colIdx := make([]int, len(g.specs))
+	for i, sp := range g.specs {
+		if sp.Col == "*" {
+			colIdx[i] = -1
+		} else {
+			colIdx[i] = s.MustLookup(sp.Col)
+		}
+	}
+	index := map[uint64][]*groupState{}
+	single := len(g.keys) == 0
+	for {
+		row, ok := g.in.Next()
+		if !ok {
+			break
+		}
+		key := make(relation.Row, len(keyIdx))
+		for i, j := range keyIdx {
+			key[i] = row[j]
+		}
+		var st *groupState
+		h := key.Hash()
+		for _, cand := range index[h] {
+			if cand.key.Equal(key) {
+				st = cand
+				break
+			}
+		}
+		if st == nil {
+			st = &groupState{key: key, aggs: make([]AggFunc, len(g.specs))}
+			for i, sp := range g.specs {
+				st.aggs[i] = sp.Factory()
+			}
+			index[h] = append(index[h], st)
+			g.groups = append(g.groups, st)
+		}
+		for i, j := range colIdx {
+			if j < 0 {
+				st.aggs[i].Add(value.NewInt(1)) // count(*): every row counts
+			} else {
+				st.aggs[i].Add(row[j])
+			}
+		}
+	}
+	// With no keys and no input, SQL still emits one row of "empty"
+	// aggregates (count=0, sum=NULL ...).
+	if single && len(g.groups) == 0 {
+		st := &groupState{key: relation.Row{}, aggs: make([]AggFunc, len(g.specs))}
+		for i, sp := range g.specs {
+			st.aggs[i] = sp.Factory()
+		}
+		g.groups = append(g.groups, st)
+	}
+	return nil
+}
+
+// Next emits one row per group.
+func (g *Group) Next() (relation.Row, bool) {
+	if g.pos >= len(g.groups) {
+		return nil, false
+	}
+	st := g.groups[g.pos]
+	g.pos++
+	out := make(relation.Row, 0, g.out.Len())
+	out = append(out, st.key...)
+	for _, a := range st.aggs {
+		out = append(out, a.Result())
+	}
+	return out, true
+}

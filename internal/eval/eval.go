@@ -1,0 +1,112 @@
+// Package eval scores HumMer's components against the ground truth
+// the data generators attach: precision / recall / F1 for schema
+// matching (attribute correspondences) and duplicate detection
+// (duplicate pairs), the standard metrics of the DUMAS and DogmatiX
+// evaluations.
+package eval
+
+import (
+	"strings"
+
+	"hummer/internal/dumas"
+)
+
+// PRF bundles precision, recall and F1.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	// TP, FP, FN are the underlying counts.
+	TP, FP, FN int
+}
+
+// NewPRF computes the metrics from counts. An empty prediction set
+// against an empty truth set is perfect.
+func NewPRF(tp, fp, fn int) PRF {
+	m := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		m.Precision = float64(tp) / float64(tp+fp)
+	} else if fn == 0 {
+		m.Precision = 1
+	}
+	if tp+fn > 0 {
+		m.Recall = float64(tp) / float64(tp+fn)
+	} else {
+		m.Recall = 1
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Matching scores attribute correspondences against the truth map
+// (left attribute → right attribute, case-insensitive). Predicted
+// correspondences not in truth count as false positives; truth entries
+// never predicted count as false negatives.
+func Matching(predicted []dumas.Correspondence, truth map[string]string) PRF {
+	tp, fp := 0, 0
+	seen := map[string]bool{}
+	for _, c := range predicted {
+		want, ok := lookupFold(truth, c.LeftCol)
+		if ok && strings.EqualFold(want, c.RightCol) {
+			tp++
+			seen[strings.ToLower(c.LeftCol)] = true
+		} else {
+			fp++
+		}
+	}
+	fn := 0
+	for l := range truth {
+		if !seen[strings.ToLower(l)] {
+			fn++
+		}
+	}
+	return NewPRF(tp, fp, fn)
+}
+
+func lookupFold(m map[string]string, key string) (string, bool) {
+	for k, v := range m {
+		if strings.EqualFold(k, key) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// DuplicatePairs scores a clustering against truth entity ids: every
+// unordered row pair sharing a predicted cluster is a predicted
+// duplicate; every pair sharing a true entity is a true duplicate.
+// This is the pairwise precision/recall standard in duplicate
+// detection.
+func DuplicatePairs(predicted []int, truth []int) PRF {
+	n := len(predicted)
+	if len(truth) != n {
+		panic("eval: prediction and truth length differ")
+	}
+	tp, fp, fn := 0, 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pred := predicted[i] == predicted[j]
+			real := truth[i] == truth[j]
+			switch {
+			case pred && real:
+				tp++
+			case pred && !real:
+				fp++
+			case !pred && real:
+				fn++
+			}
+		}
+	}
+	return NewPRF(tp, fp, fn)
+}
+
+// ClusterCount returns the number of distinct cluster ids.
+func ClusterCount(ids []int) int {
+	seen := map[int]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"hummer/internal/dumas"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewPRF(t *testing.T) {
+	m := NewPRF(8, 2, 2)
+	if !approx(m.Precision, 0.8) || !approx(m.Recall, 0.8) || !approx(m.F1, 0.8) {
+		t.Errorf("PRF = %+v", m)
+	}
+	perfect := NewPRF(0, 0, 0)
+	if perfect.Precision != 1 || perfect.Recall != 1 {
+		t.Errorf("empty-vs-empty must be perfect: %+v", perfect)
+	}
+	zeroP := NewPRF(0, 5, 0)
+	if zeroP.Precision != 0 {
+		t.Errorf("all-FP precision = %g", zeroP.Precision)
+	}
+	zeroR := NewPRF(0, 0, 5)
+	if zeroR.Recall != 0 {
+		t.Errorf("all-FN recall = %g", zeroR.Recall)
+	}
+	if zeroR.F1 != 0 {
+		t.Errorf("F1 with zero recall = %g", zeroR.F1)
+	}
+}
+
+func TestMatching(t *testing.T) {
+	truth := map[string]string{"Name": "FullName", "Age": "Years", "City": "Town"}
+	predicted := []dumas.Correspondence{
+		{LeftCol: "Name", RightCol: "FullName"}, // TP
+		{LeftCol: "Age", RightCol: "Town"},      // FP (wrong partner)
+		// City unmatched → FN; Age's true partner missed → counted via FN of Age.
+	}
+	m := Matching(predicted, truth)
+	if m.TP != 1 || m.FP != 1 || m.FN != 2 {
+		t.Errorf("counts = TP%d FP%d FN%d, want 1/1/2", m.TP, m.FP, m.FN)
+	}
+}
+
+func TestMatchingCaseInsensitive(t *testing.T) {
+	truth := map[string]string{"name": "fullname"}
+	predicted := []dumas.Correspondence{{LeftCol: "Name", RightCol: "FullName"}}
+	m := Matching(predicted, truth)
+	if m.TP != 1 || m.FP != 0 || m.FN != 0 {
+		t.Errorf("case-insensitive matching failed: %+v", m)
+	}
+}
+
+func TestMatchingExtraPrediction(t *testing.T) {
+	truth := map[string]string{}
+	predicted := []dumas.Correspondence{{LeftCol: "A", RightCol: "B"}}
+	m := Matching(predicted, truth)
+	if m.FP != 1 || m.Precision != 0 {
+		t.Errorf("spurious correspondence: %+v", m)
+	}
+}
+
+func TestDuplicatePairsPerfect(t *testing.T) {
+	pred := []int{0, 0, 1, 2, 2}
+	m := DuplicatePairs(pred, pred)
+	if m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("identical clustering must be perfect: %+v", m)
+	}
+}
+
+func TestDuplicatePairsCounts(t *testing.T) {
+	// Truth: {0,1} together, {2,3} together.
+	truth := []int{0, 0, 1, 1}
+	// Prediction: {0,1,2} together, 3 alone.
+	pred := []int{5, 5, 5, 6}
+	// Pairs: (0,1) TP; (0,2),(1,2) FP; (2,3) FN.
+	m := DuplicatePairs(pred, truth)
+	if m.TP != 1 || m.FP != 2 || m.FN != 1 {
+		t.Errorf("counts = TP%d FP%d FN%d", m.TP, m.FP, m.FN)
+	}
+}
+
+func TestDuplicatePairsAllSingletons(t *testing.T) {
+	truth := []int{0, 0, 1}
+	pred := []int{0, 1, 2}
+	m := DuplicatePairs(pred, truth)
+	if m.TP != 0 || m.Recall != 0 {
+		t.Errorf("singleton prediction: %+v", m)
+	}
+	// Precision with no predicted pairs and missed truth: 0 TP, 0 FP, 1 FN.
+	if m.Precision != 0 {
+		// NewPRF: tp+fp==0 and fn>0 → precision 0.
+		t.Errorf("precision = %g", m.Precision)
+	}
+}
+
+func TestDuplicatePairsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DuplicatePairs([]int{1}, []int{1, 2})
+}
+
+func TestClusterCount(t *testing.T) {
+	if got := ClusterCount([]int{3, 3, 1, 4, 1}); got != 3 {
+		t.Errorf("ClusterCount = %d", got)
+	}
+	if got := ClusterCount(nil); got != 0 {
+		t.Errorf("ClusterCount(nil) = %d", got)
+	}
+}

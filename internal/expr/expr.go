@@ -1,0 +1,474 @@
+// Package expr implements scalar expressions over relation rows:
+// column references, literals, comparison and boolean predicates,
+// arithmetic, and a handful of scalar functions. Evaluation follows
+// SQL three-valued logic (NULL propagation, IS NULL, AND/OR
+// short-circuit with UNKNOWN).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// Expr is a scalar expression. Bind resolves column references against
+// a schema; Eval computes the value for one row. Eval must only be
+// called after a successful Bind against the row's schema.
+type Expr interface {
+	// Bind resolves names against s, returning an error for unknown
+	// columns or type errors detectable statically.
+	Bind(s *schema.Schema) error
+	// Eval computes the expression over row.
+	Eval(row relation.Row) value.Value
+	// String renders the expression in SQL-like syntax.
+	String() string
+}
+
+// --- Column reference -------------------------------------------------
+
+// Col references a column by name.
+type Col struct {
+	Name string
+	pos  int
+}
+
+// NewCol returns a column reference expression.
+func NewCol(name string) *Col { return &Col{Name: name, pos: -1} }
+
+// Bind resolves the column position.
+func (c *Col) Bind(s *schema.Schema) error {
+	i, ok := s.Lookup(c.Name)
+	if !ok {
+		return fmt.Errorf("expr: unknown column %q in %s", c.Name, s)
+	}
+	c.pos = i
+	return nil
+}
+
+// Eval returns the referenced cell.
+func (c *Col) Eval(row relation.Row) value.Value {
+	if c.pos < 0 {
+		panic(fmt.Sprintf("expr: column %q evaluated before Bind", c.Name))
+	}
+	return row[c.pos]
+}
+
+func (c *Col) String() string { return c.Name }
+
+// --- Literal ----------------------------------------------------------
+
+// Lit is a constant value.
+type Lit struct{ Val value.Value }
+
+// NewLit returns a literal expression.
+func NewLit(v value.Value) *Lit { return &Lit{Val: v} }
+
+// Bind is a no-op for literals.
+func (l *Lit) Bind(*schema.Schema) error { return nil }
+
+// Eval returns the constant.
+func (l *Lit) Eval(relation.Row) value.Value { return l.Val }
+
+func (l *Lit) String() string {
+	if l.Val.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(l.Val.Str(), "'", "''") + "'"
+	}
+	return l.Val.String()
+}
+
+// --- Comparison -------------------------------------------------------
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Cmp compares two sub-expressions. A NULL operand yields NULL
+// (UNKNOWN), per SQL.
+type Cmp struct {
+	Op          CmpOp
+	Left, Right Expr
+}
+
+// NewCmp builds a comparison expression.
+func NewCmp(op CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, Left: l, Right: r} }
+
+// Bind binds both operands.
+func (c *Cmp) Bind(s *schema.Schema) error {
+	if err := c.Left.Bind(s); err != nil {
+		return err
+	}
+	return c.Right.Bind(s)
+}
+
+// Eval applies the comparison with NULL propagation.
+func (c *Cmp) Eval(row relation.Row) value.Value {
+	l, r := c.Left.Eval(row), c.Right.Eval(row)
+	if l.IsNull() || r.IsNull() {
+		return value.Null
+	}
+	cmp := l.Compare(r)
+	var res bool
+	switch c.Op {
+	case EQ:
+		res = l.Equal(r)
+	case NE:
+		res = !l.Equal(r)
+	case LT:
+		res = cmp < 0
+	case LE:
+		res = cmp <= 0
+	case GT:
+		res = cmp > 0
+	case GE:
+		res = cmp >= 0
+	}
+	return value.NewBool(res)
+}
+
+func (c *Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// --- Boolean connectives ----------------------------------------------
+
+// BoolOp enumerates boolean connectives.
+type BoolOp uint8
+
+// Boolean connectives.
+const (
+	And BoolOp = iota
+	Or
+)
+
+func (o BoolOp) String() string {
+	if o == And {
+		return "AND"
+	}
+	return "OR"
+}
+
+// Logic combines two boolean sub-expressions with three-valued logic.
+type Logic struct {
+	Op          BoolOp
+	Left, Right Expr
+}
+
+// NewAnd conjoins two expressions.
+func NewAnd(l, r Expr) *Logic { return &Logic{Op: And, Left: l, Right: r} }
+
+// NewOr disjoins two expressions.
+func NewOr(l, r Expr) *Logic { return &Logic{Op: Or, Left: l, Right: r} }
+
+// Bind binds both operands.
+func (g *Logic) Bind(s *schema.Schema) error {
+	if err := g.Left.Bind(s); err != nil {
+		return err
+	}
+	return g.Right.Bind(s)
+}
+
+// Eval implements Kleene three-valued AND/OR.
+func (g *Logic) Eval(row relation.Row) value.Value {
+	l := truth(g.Left.Eval(row))
+	r := truth(g.Right.Eval(row))
+	if g.Op == And {
+		switch {
+		case l == tFalse || r == tFalse:
+			return value.NewBool(false)
+		case l == tTrue && r == tTrue:
+			return value.NewBool(true)
+		default:
+			return value.Null
+		}
+	}
+	switch {
+	case l == tTrue || r == tTrue:
+		return value.NewBool(true)
+	case l == tFalse && r == tFalse:
+		return value.NewBool(false)
+	default:
+		return value.Null
+	}
+}
+
+func (g *Logic) String() string {
+	return fmt.Sprintf("(%s %s %s)", g.Left, g.Op, g.Right)
+}
+
+// Not negates a boolean expression; NOT NULL is NULL.
+type Not struct{ Inner Expr }
+
+// NewNot negates e.
+func NewNot(e Expr) *Not { return &Not{Inner: e} }
+
+// Bind binds the operand.
+func (n *Not) Bind(s *schema.Schema) error { return n.Inner.Bind(s) }
+
+// Eval negates with NULL propagation.
+func (n *Not) Eval(row relation.Row) value.Value {
+	switch truth(n.Inner.Eval(row)) {
+	case tTrue:
+		return value.NewBool(false)
+	case tFalse:
+		return value.NewBool(true)
+	default:
+		return value.Null
+	}
+}
+
+func (n *Not) String() string { return fmt.Sprintf("NOT (%s)", n.Inner) }
+
+type tri uint8
+
+const (
+	tUnknown tri = iota
+	tTrue
+	tFalse
+)
+
+func truth(v value.Value) tri {
+	if v.Kind() != value.KindBool {
+		return tUnknown
+	}
+	if v.Bool() {
+		return tTrue
+	}
+	return tFalse
+}
+
+// Truthy reports whether v is definitely true (SQL WHERE semantics:
+// UNKNOWN filters out).
+func Truthy(v value.Value) bool { return truth(v) == tTrue }
+
+// --- IS NULL ----------------------------------------------------------
+
+// IsNull tests for NULL; Negate turns it into IS NOT NULL.
+type IsNull struct {
+	Inner  Expr
+	Negate bool
+}
+
+// NewIsNull builds an IS [NOT] NULL test.
+func NewIsNull(e Expr, negate bool) *IsNull { return &IsNull{Inner: e, Negate: negate} }
+
+// Bind binds the operand.
+func (p *IsNull) Bind(s *schema.Schema) error { return p.Inner.Bind(s) }
+
+// Eval never returns NULL: IS NULL is two-valued.
+func (p *IsNull) Eval(row relation.Row) value.Value {
+	isNull := p.Inner.Eval(row).IsNull()
+	return value.NewBool(isNull != p.Negate)
+}
+
+func (p *IsNull) String() string {
+	if p.Negate {
+		return fmt.Sprintf("%s IS NOT NULL", p.Inner)
+	}
+	return fmt.Sprintf("%s IS NULL", p.Inner)
+}
+
+// --- Arithmetic -------------------------------------------------------
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+// Arith applies +,-,*,/ to numeric operands; + concatenates strings.
+// NULL operands propagate; division by zero yields NULL.
+type Arith struct {
+	Op          ArithOp
+	Left, Right Expr
+}
+
+// NewArith builds an arithmetic expression.
+func NewArith(op ArithOp, l, r Expr) *Arith { return &Arith{Op: op, Left: l, Right: r} }
+
+// Bind binds both operands.
+func (a *Arith) Bind(s *schema.Schema) error {
+	if err := a.Left.Bind(s); err != nil {
+		return err
+	}
+	return a.Right.Bind(s)
+}
+
+// Eval computes the arithmetic result.
+func (a *Arith) Eval(row relation.Row) value.Value {
+	l, r := a.Left.Eval(row), a.Right.Eval(row)
+	if l.IsNull() || r.IsNull() {
+		return value.Null
+	}
+	if a.Op == Add && l.Kind() == value.KindString && r.Kind() == value.KindString {
+		return value.NewString(l.Str() + r.Str())
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return value.Null
+	}
+	bothInt := l.Kind() == value.KindInt && r.Kind() == value.KindInt
+	switch a.Op {
+	case Add:
+		if bothInt {
+			return value.NewInt(l.Int() + r.Int())
+		}
+		return value.NewFloat(lf + rf)
+	case Sub:
+		if bothInt {
+			return value.NewInt(l.Int() - r.Int())
+		}
+		return value.NewFloat(lf - rf)
+	case Mul:
+		if bothInt {
+			return value.NewInt(l.Int() * r.Int())
+		}
+		return value.NewFloat(lf * rf)
+	case Div:
+		if rf == 0 {
+			return value.Null
+		}
+		if bothInt && l.Int()%r.Int() == 0 {
+			return value.NewInt(l.Int() / r.Int())
+		}
+		return value.NewFloat(lf / rf)
+	}
+	return value.Null
+}
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.Left, a.Op, a.Right)
+}
+
+// --- LIKE -------------------------------------------------------------
+
+// Like implements SQL LIKE with % and _ wildcards.
+type Like struct {
+	Inner   Expr
+	Pattern string
+	Negate  bool
+}
+
+// NewLike builds a LIKE predicate.
+func NewLike(e Expr, pattern string, negate bool) *Like {
+	return &Like{Inner: e, Pattern: pattern, Negate: negate}
+}
+
+// Bind binds the operand.
+func (l *Like) Bind(s *schema.Schema) error { return l.Inner.Bind(s) }
+
+// Eval matches the pattern; NULL input yields NULL.
+func (l *Like) Eval(row relation.Row) value.Value {
+	v := l.Inner.Eval(row)
+	if v.IsNull() {
+		return value.Null
+	}
+	m := likeMatch(l.Pattern, v.Text())
+	return value.NewBool(m != l.Negate)
+}
+
+func (l *Like) String() string {
+	op := "LIKE"
+	if l.Negate {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("%s %s '%s'", l.Inner, op, l.Pattern)
+}
+
+// likeMatch matches SQL LIKE patterns (case-insensitive, the common
+// collation choice for dirty-data work) using iterative backtracking
+// over the single %-wildcard structure.
+func likeMatch(pattern, s string) bool {
+	p := strings.ToLower(pattern)
+	t := strings.ToLower(s)
+	pi, ti := 0, 0
+	star, mark := -1, 0
+	for ti < len(t) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == t[ti]):
+			pi++
+			ti++
+		case pi < len(p) && p[pi] == '%':
+			star, mark = pi, ti
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			ti = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// --- IN ---------------------------------------------------------------
+
+// In tests membership in a literal list.
+type In struct {
+	Inner  Expr
+	List   []value.Value
+	Negate bool
+}
+
+// NewIn builds an IN predicate.
+func NewIn(e Expr, list []value.Value, negate bool) *In {
+	return &In{Inner: e, List: list, Negate: negate}
+}
+
+// Bind binds the operand.
+func (in *In) Bind(s *schema.Schema) error { return in.Inner.Bind(s) }
+
+// Eval tests membership; NULL input yields NULL.
+func (in *In) Eval(row relation.Row) value.Value {
+	v := in.Inner.Eval(row)
+	if v.IsNull() {
+		return value.Null
+	}
+	found := false
+	for _, c := range in.List {
+		if v.Equal(c) {
+			found = true
+			break
+		}
+	}
+	return value.NewBool(found != in.Negate)
+}
+
+func (in *In) String() string {
+	parts := make([]string, len(in.List))
+	for i, v := range in.List {
+		parts[i] = (&Lit{Val: v}).String()
+	}
+	op := "IN"
+	if in.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("%s %s (%s)", in.Inner, op, strings.Join(parts, ", "))
+}

@@ -1,0 +1,255 @@
+package expr
+
+import (
+	"testing"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+var testSchema = schema.FromNames("name", "age", "city")
+
+func row(name string, age value.Value, city string) relation.Row {
+	var c value.Value
+	if city != "" {
+		c = value.NewString(city)
+	}
+	return relation.Row{value.NewString(name), age, c}
+}
+
+func mustBind(t *testing.T, e Expr) Expr {
+	t.Helper()
+	if err := e.Bind(testSchema); err != nil {
+		t.Fatalf("Bind(%s): %v", e, err)
+	}
+	return e
+}
+
+func TestColEval(t *testing.T) {
+	e := mustBind(t, NewCol("age"))
+	got := e.Eval(row("A", value.NewInt(30), "Berlin"))
+	if !got.Equal(value.NewInt(30)) {
+		t.Errorf("Eval = %v", got)
+	}
+}
+
+func TestColBindUnknown(t *testing.T) {
+	if err := NewCol("nope").Bind(testSchema); err == nil {
+		t.Error("binding unknown column must fail")
+	}
+}
+
+func TestColEvalBeforeBindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCol("age").Eval(row("A", value.Null, ""))
+}
+
+func TestCmpOperators(t *testing.T) {
+	r := row("A", value.NewInt(30), "Berlin")
+	cases := []struct {
+		op   CmpOp
+		rhs  int64
+		want bool
+	}{
+		{EQ, 30, true}, {EQ, 31, false},
+		{NE, 30, false}, {NE, 31, true},
+		{LT, 31, true}, {LT, 30, false},
+		{LE, 30, true}, {LE, 29, false},
+		{GT, 29, true}, {GT, 30, false},
+		{GE, 30, true}, {GE, 31, false},
+	}
+	for _, c := range cases {
+		e := mustBind(t, NewCmp(c.op, NewCol("age"), NewLit(value.NewInt(c.rhs))))
+		if got := e.Eval(r); !got.Equal(value.NewBool(c.want)) {
+			t.Errorf("age %s %d = %v, want %v", c.op, c.rhs, got, c.want)
+		}
+	}
+}
+
+func TestCmpNullPropagates(t *testing.T) {
+	e := mustBind(t, NewCmp(EQ, NewCol("age"), NewLit(value.NewInt(1))))
+	if got := e.Eval(row("A", value.Null, "")); !got.IsNull() {
+		t.Errorf("NULL = 1 gave %v, want NULL", got)
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	tr := NewLit(value.NewBool(true))
+	fa := NewLit(value.NewBool(false))
+	nu := NewLit(value.Null)
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{NewAnd(tr, tr), value.NewBool(true)},
+		{NewAnd(tr, fa), value.NewBool(false)},
+		{NewAnd(fa, nu), value.NewBool(false)}, // FALSE AND UNKNOWN = FALSE
+		{NewAnd(tr, nu), value.Null},
+		{NewOr(fa, fa), value.NewBool(false)},
+		{NewOr(fa, tr), value.NewBool(true)},
+		{NewOr(tr, nu), value.NewBool(true)}, // TRUE OR UNKNOWN = TRUE
+		{NewOr(fa, nu), value.Null},
+		{NewNot(tr), value.NewBool(false)},
+		{NewNot(fa), value.NewBool(true)},
+		{NewNot(nu), value.Null},
+	}
+	for _, c := range cases {
+		mustBind(t, c.e)
+		got := c.e.Eval(nil)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && !got.Equal(c.want)) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	e := mustBind(t, NewIsNull(NewCol("city"), false))
+	if got := e.Eval(row("A", value.Null, "")); !got.Equal(value.NewBool(true)) {
+		t.Errorf("IS NULL on NULL = %v", got)
+	}
+	if got := e.Eval(row("A", value.Null, "Berlin")); !got.Equal(value.NewBool(false)) {
+		t.Errorf("IS NULL on value = %v", got)
+	}
+	n := mustBind(t, NewIsNull(NewCol("city"), true))
+	if got := n.Eval(row("A", value.Null, "Berlin")); !got.Equal(value.NewBool(true)) {
+		t.Errorf("IS NOT NULL on value = %v", got)
+	}
+}
+
+func TestArith(t *testing.T) {
+	r := row("A", value.NewInt(10), "")
+	cases := []struct {
+		op   ArithOp
+		rhs  value.Value
+		want value.Value
+	}{
+		{Add, value.NewInt(5), value.NewInt(15)},
+		{Sub, value.NewInt(3), value.NewInt(7)},
+		{Mul, value.NewInt(2), value.NewInt(20)},
+		{Div, value.NewInt(2), value.NewInt(5)},
+		{Div, value.NewInt(4), value.NewFloat(2.5)},
+		{Div, value.NewInt(0), value.Null},
+		{Add, value.NewFloat(0.5), value.NewFloat(10.5)},
+		{Add, value.Null, value.Null},
+	}
+	for _, c := range cases {
+		e := mustBind(t, NewArith(c.op, NewCol("age"), NewLit(c.rhs)))
+		got := e.Eval(r)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && !got.Equal(c.want)) {
+			t.Errorf("10 %s %v = %v, want %v", c.op, c.rhs, got, c.want)
+		}
+	}
+}
+
+func TestStringConcatViaPlus(t *testing.T) {
+	e := mustBind(t, NewArith(Add, NewCol("name"), NewLit(value.NewString("!"))))
+	if got := e.Eval(row("Hi", value.Null, "")); got.Text() != "Hi!" {
+		t.Errorf("concat = %v", got)
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"a%", "abc", true},
+		{"a%", "bac", false},
+		{"%c", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "ac", false},
+		{"%b%", "abc", true},
+		{"abc", "ABC", true}, // case-insensitive
+		{"a%z", "az", true},
+		{"a%%z", "aXYz", true},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		e := mustBind(t, NewLike(NewCol("name"), c.pattern, false))
+		got := e.Eval(row(c.s, value.Null, ""))
+		if !got.Equal(value.NewBool(c.want)) {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestLikeNullAndNegate(t *testing.T) {
+	e := mustBind(t, NewLike(NewCol("city"), "%", false))
+	if got := e.Eval(row("A", value.Null, "")); !got.IsNull() {
+		t.Error("NULL LIKE must be NULL")
+	}
+	n := mustBind(t, NewLike(NewCol("name"), "a%", true))
+	if got := n.Eval(row("abc", value.Null, "")); !got.Equal(value.NewBool(false)) {
+		t.Errorf("NOT LIKE = %v", got)
+	}
+}
+
+func TestIn(t *testing.T) {
+	list := []value.Value{value.NewString("Berlin"), value.NewString("Tokyo")}
+	e := mustBind(t, NewIn(NewCol("city"), list, false))
+	if got := e.Eval(row("A", value.Null, "Berlin")); !got.Equal(value.NewBool(true)) {
+		t.Errorf("IN = %v", got)
+	}
+	if got := e.Eval(row("A", value.Null, "Oslo")); !got.Equal(value.NewBool(false)) {
+		t.Errorf("IN = %v", got)
+	}
+	if got := e.Eval(row("A", value.Null, "")); !got.IsNull() {
+		t.Error("NULL IN must be NULL")
+	}
+	n := mustBind(t, NewIn(NewCol("city"), list, true))
+	if got := n.Eval(row("A", value.Null, "Oslo")); !got.Equal(value.NewBool(true)) {
+		t.Errorf("NOT IN = %v", got)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if !Truthy(value.NewBool(true)) {
+		t.Error("true must be truthy")
+	}
+	if Truthy(value.NewBool(false)) || Truthy(value.Null) || Truthy(value.NewInt(1)) {
+		t.Error("false/NULL/non-bool must not be truthy")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := NewAnd(
+		NewCmp(GT, NewCol("age"), NewLit(value.NewInt(18))),
+		NewLike(NewCol("name"), "A%", false),
+	)
+	got := e.String()
+	want := "(age > 18 AND name LIKE 'A%')"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	lit := NewLit(value.NewString("it's"))
+	if lit.String() != "'it''s'" {
+		t.Errorf("string literal escaping = %q", lit.String())
+	}
+}
+
+func TestBindErrorsPropagate(t *testing.T) {
+	bad := NewCol("missing")
+	exprs := []Expr{
+		NewCmp(EQ, bad, NewLit(value.Null)),
+		NewCmp(EQ, NewLit(value.Null), bad),
+		NewAnd(bad, bad),
+		NewNot(bad),
+		NewIsNull(bad, false),
+		NewArith(Add, bad, bad),
+		NewLike(bad, "%", false),
+		NewIn(bad, nil, false),
+	}
+	for _, e := range exprs {
+		if err := e.Bind(testSchema); err == nil {
+			t.Errorf("%T: expected bind error", e)
+		}
+	}
+}

@@ -1,0 +1,494 @@
+// Package fusion implements HumMer's final phase: conflict resolution
+// and data fusion. Tuples representing the same real-world object
+// (identified by the FUSE BY attributes or by the objectID column that
+// duplicate detection appends) are merged into one tuple; conflicting
+// attribute values are resolved by conflict-resolution functions.
+//
+// Conflict resolution generalizes SQL aggregation: a resolution
+// function sees the entire query context — the conflicting values, the
+// full tuples they come from, the column and relation names, and the
+// tuples' source aliases — not just the value list (paper §2.4).
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// Context is the query context a resolution function receives for one
+// conflict: one output cell of one fused group.
+type Context struct {
+	// Column is the attribute being resolved.
+	Column string
+	// Relation is the (merged) table name.
+	Relation string
+	// Schema describes Rows.
+	Schema *schema.Schema
+	// Rows are the group's full tuples, in input order.
+	Rows []relation.Row
+	// Values are the conflicting values: the Column slice of Rows,
+	// aligned with Rows (Values[i] belongs to Rows[i]).
+	Values []value.Value
+	// Sources holds each row's source alias (from the sourceID
+	// column, or the relation name when absent), aligned with Rows.
+	Sources []string
+}
+
+// NonNull returns the non-null values in order, with their row indices.
+func (c *Context) NonNull() ([]value.Value, []int) {
+	var vals []value.Value
+	var idx []int
+	for i, v := range c.Values {
+		if !v.IsNull() {
+			vals = append(vals, v)
+			idx = append(idx, i)
+		}
+	}
+	return vals, idx
+}
+
+// RowValue returns the value of another column in row i — resolution
+// functions use this to consult the rest of the query context (e.g.
+// MostRecent reads a timestamp attribute).
+func (c *Context) RowValue(i int, column string) (value.Value, error) {
+	j, ok := c.Schema.Lookup(column)
+	if !ok {
+		return value.Null, fmt.Errorf("fusion: no context column %q", column)
+	}
+	return c.Rows[i][j], nil
+}
+
+// Func is a conflict-resolution function. arg carries the optional
+// function argument from the query (e.g. the source alias of
+// Choose(source), or the recency attribute of MostRecent).
+type Func func(ctx *Context, arg string) (value.Value, error)
+
+// Spec names a resolution function plus its optional argument, as
+// written in a RESOLVE clause.
+type Spec struct {
+	Name string
+	Arg  string
+}
+
+// Coalesce is the default resolution spec (paper §2.1).
+var Coalesce = Spec{Name: "coalesce"}
+
+// Registry maps function names to implementations. It is extensible:
+// HumMer explicitly allows registering new functions.
+type Registry struct {
+	funcs map[string]Func
+}
+
+// NewRegistry returns a registry pre-loaded with all resolution
+// functions from the paper plus the standard SQL aggregates.
+func NewRegistry() *Registry {
+	r := &Registry{funcs: make(map[string]Func)}
+	for name, f := range builtins {
+		r.funcs[name] = f
+	}
+	return r
+}
+
+// Register adds or replaces a function. Names are case-insensitive.
+func (r *Registry) Register(name string, f Func) {
+	r.funcs[strings.ToLower(name)] = f
+}
+
+// Lookup resolves a function name.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	f, ok := r.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// Names returns the registered function names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.funcs))
+	for n := range r.funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// builtins holds the paper's resolution functions (§2.4) and the SQL
+// aggregates the Fuse By statement may also use.
+var builtins = map[string]Func{
+	"coalesce":   fnCoalesce,
+	"first":      fnFirst,
+	"last":       fnLast,
+	"vote":       fnVote,
+	"group":      fnGroup,
+	"concat":     fnConcat,
+	"annconcat":  fnAnnotatedConcat,
+	"shortest":   fnShortest,
+	"longest":    fnLongest,
+	"choose":     fnChoose,
+	"mostrecent": fnMostRecent,
+	"min":        fnMin,
+	"max":        fnMax,
+	"sum":        fnSum,
+	"avg":        fnAvg,
+	"count":      fnCount,
+	"median":     fnMedian,
+	"stddev":       fnStddev,
+	"random":       fnFirstNonNullAlias, // deterministic stand-in, see doc
+	"mostcomplete": fnMostComplete,
+}
+
+// fnCoalesce returns the first non-null value (the SQL Coalesce
+// n-ary function, HumMer's default).
+func fnCoalesce(ctx *Context, _ string) (value.Value, error) {
+	for _, v := range ctx.Values {
+		if !v.IsNull() {
+			return v, nil
+		}
+	}
+	return value.Null, nil
+}
+
+// fnFirst takes the first value, even if it is NULL (paper: "takes the
+// first/last value of all values, even if it is a null value").
+func fnFirst(ctx *Context, _ string) (value.Value, error) {
+	if len(ctx.Values) == 0 {
+		return value.Null, nil
+	}
+	return ctx.Values[0], nil
+}
+
+// fnLast takes the last value, even if NULL.
+func fnLast(ctx *Context, _ string) (value.Value, error) {
+	if len(ctx.Values) == 0 {
+		return value.Null, nil
+	}
+	return ctx.Values[len(ctx.Values)-1], nil
+}
+
+// fnVote returns the most frequent non-null value. Ties break toward
+// the value that appeared first (a deterministic choice among the
+// paper's "variety of strategies").
+func fnVote(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	type bucket struct {
+		v     value.Value
+		count int
+		first int
+	}
+	var buckets []*bucket
+	for i, v := range vals {
+		found := false
+		for _, b := range buckets {
+			if b.v.Equal(v) {
+				b.count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			buckets = append(buckets, &bucket{v: v, count: 1, first: i})
+		}
+	}
+	best := buckets[0]
+	for _, b := range buckets[1:] {
+		if b.count > best.count {
+			best = b
+		}
+	}
+	return best.v, nil
+}
+
+// fnGroup returns the set of conflicting values rendered as
+// "{v1, v2, ...}" (distinct, in first-appearance order), leaving the
+// actual resolution to the user, as the paper specifies.
+func fnGroup(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	var parts []string
+	for _, v := range vals {
+		s := v.Text()
+		dup := false
+		for _, p := range parts {
+			if p == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			parts = append(parts, s)
+		}
+	}
+	if len(parts) == 1 {
+		return vals[0], nil
+	}
+	return value.NewString("{" + strings.Join(parts, ", ") + "}"), nil
+}
+
+// fnConcat concatenates the distinct non-null values.
+func fnConcat(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	var parts []string
+	for _, v := range vals {
+		s := v.Text()
+		dup := false
+		for _, p := range parts {
+			if p == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			parts = append(parts, s)
+		}
+	}
+	return value.NewString(strings.Join(parts, ", ")), nil
+}
+
+// fnAnnotatedConcat concatenates values annotated with their source
+// alias: "v1 [s1], v2 [s2]".
+func fnAnnotatedConcat(ctx *Context, _ string) (value.Value, error) {
+	vals, idx := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%s [%s]", v.Text(), ctx.Sources[idx[i]])
+	}
+	return value.NewString(strings.Join(parts, ", ")), nil
+}
+
+// fnShortest chooses the non-null value of minimum length (text
+// length as the length measure); ties break toward the first.
+func fnShortest(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if len(v.Text()) < len(best.Text()) {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// fnLongest chooses the non-null value of maximum length.
+func fnLongest(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if len(v.Text()) > len(best.Text()) {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// fnChoose returns the value supplied by the named source
+// (Choose(source) in the paper). A group may contain several rows of
+// that source; the first non-null one wins. Without rows from that
+// source the result is NULL.
+func fnChoose(ctx *Context, arg string) (value.Value, error) {
+	if arg == "" {
+		return value.Null, fmt.Errorf("fusion: choose requires a source argument")
+	}
+	for i, v := range ctx.Values {
+		if strings.EqualFold(ctx.Sources[i], arg) && !v.IsNull() {
+			return v, nil
+		}
+	}
+	return value.Null, nil
+}
+
+// fnMostRecent evaluates recency with the help of another attribute
+// (the arg names a timestamp/date column of the context, paper §2.4):
+// the non-null value whose row has the greatest recency wins. Rows
+// with NULL recency lose against any dated row. Without an argument
+// the last non-null value is taken (input order as recency proxy).
+func fnMostRecent(ctx *Context, arg string) (value.Value, error) {
+	vals, idx := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	if arg == "" {
+		return vals[len(vals)-1], nil
+	}
+	bestVal := value.Null
+	bestTS := value.Null
+	for k, v := range vals {
+		ts, err := ctx.RowValue(idx[k], arg)
+		if err != nil {
+			return value.Null, err
+		}
+		if bestVal.IsNull() || (!ts.IsNull() && (bestTS.IsNull() || ts.Compare(bestTS) > 0)) {
+			bestVal, bestTS = v, ts
+		}
+	}
+	return bestVal, nil
+}
+
+// fnMostComplete demonstrates the query-context generality of conflict
+// resolution (§2.4): it returns the value from the tuple with the
+// fewest NULLs overall, on the theory that the most completely
+// described observation is the most trustworthy. Ties break toward the
+// earlier tuple.
+func fnMostComplete(ctx *Context, _ string) (value.Value, error) {
+	best := value.Null
+	bestNulls := -1
+	for i, v := range ctx.Values {
+		if v.IsNull() {
+			continue
+		}
+		nulls := 0
+		for _, cell := range ctx.Rows[i] {
+			if cell.IsNull() {
+				nulls++
+			}
+		}
+		if bestNulls < 0 || nulls < bestNulls {
+			best, bestNulls = v, nulls
+		}
+	}
+	return best, nil
+}
+
+// fnFirstNonNullAlias backs the "random" strategy mentioned for vote
+// tie-breaking. True randomness would make fusion non-deterministic
+// and untestable; HumMer instead picks the first non-null value and
+// documents the substitution.
+func fnFirstNonNullAlias(ctx *Context, _ string) (value.Value, error) {
+	return fnCoalesce(ctx, "")
+}
+
+// --- Numeric aggregates ---------------------------------------------------
+
+func numericValues(ctx *Context) []float64 {
+	var out []float64
+	for _, v := range ctx.Values {
+		if f, ok := v.AsFloat(); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fnMin is the SQL min over non-null values (any comparable kind).
+func fnMin(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if v.Compare(best) < 0 {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// fnMax is the SQL max over non-null values.
+func fnMax(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	if len(vals) == 0 {
+		return value.Null, nil
+	}
+	best := vals[0]
+	for _, v := range vals[1:] {
+		if v.Compare(best) > 0 {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// fnSum sums numeric values; NULL when none.
+func fnSum(ctx *Context, _ string) (value.Value, error) {
+	nums := numericValues(ctx)
+	if len(nums) == 0 {
+		return value.Null, nil
+	}
+	allInt := true
+	var intSum int64
+	var sum float64
+	for _, v := range ctx.Values {
+		if v.Kind() == value.KindInt {
+			intSum += v.Int()
+		} else if !v.IsNull() {
+			allInt = false
+		}
+	}
+	for _, f := range nums {
+		sum += f
+	}
+	if allInt {
+		return value.NewInt(intSum), nil
+	}
+	return value.NewFloat(sum), nil
+}
+
+// fnAvg averages numeric values; NULL when none.
+func fnAvg(ctx *Context, _ string) (value.Value, error) {
+	nums := numericValues(ctx)
+	if len(nums) == 0 {
+		return value.Null, nil
+	}
+	var sum float64
+	for _, f := range nums {
+		sum += f
+	}
+	return value.NewFloat(sum / float64(len(nums))), nil
+}
+
+// fnCount counts non-null values.
+func fnCount(ctx *Context, _ string) (value.Value, error) {
+	vals, _ := ctx.NonNull()
+	return value.NewInt(int64(len(vals))), nil
+}
+
+// fnMedian returns the median of the numeric values (lower of the two
+// middles for even counts, keeping the result an observed value).
+func fnMedian(ctx *Context, _ string) (value.Value, error) {
+	nums := numericValues(ctx)
+	if len(nums) == 0 {
+		return value.Null, nil
+	}
+	sort.Float64s(nums)
+	return value.NewFloat(nums[(len(nums)-1)/2]), nil
+}
+
+// fnStddev returns the population standard deviation of the numeric
+// values; NULL for fewer than one value.
+func fnStddev(ctx *Context, _ string) (value.Value, error) {
+	nums := numericValues(ctx)
+	if len(nums) == 0 {
+		return value.Null, nil
+	}
+	var sum float64
+	for _, f := range nums {
+		sum += f
+	}
+	mean := sum / float64(len(nums))
+	var ss float64
+	for _, f := range nums {
+		ss += (f - mean) * (f - mean)
+	}
+	return value.NewFloat(math.Sqrt(ss / float64(len(nums)))), nil
+}

@@ -1,0 +1,331 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// ctxOf builds a resolution context from a value list with optional
+// sources.
+func ctxOf(vals []value.Value, sources ...string) *Context {
+	if len(sources) == 0 {
+		sources = make([]string, len(vals))
+		for i := range sources {
+			sources[i] = "src"
+		}
+	}
+	rows := make([]relation.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = relation.Row{v}
+	}
+	return &Context{
+		Column:   "c",
+		Relation: "t",
+		Schema:   schema.FromNames("c"),
+		Rows:     rows,
+		Values:   vals,
+		Sources:  sources,
+	}
+}
+
+func vs(texts ...string) []value.Value {
+	out := make([]value.Value, len(texts))
+	for i, t := range texts {
+		out[i] = value.Parse(t)
+	}
+	return out
+}
+
+func call(t *testing.T, name string, ctx *Context, arg string) value.Value {
+	t.Helper()
+	reg := NewRegistry()
+	f, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("no function %q", name)
+	}
+	v, err := f(ctx, arg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return v
+}
+
+func TestCoalesce(t *testing.T) {
+	if got := call(t, "coalesce", ctxOf(vs("", "x", "y")), ""); got.Text() != "x" {
+		t.Errorf("coalesce = %v", got)
+	}
+	if got := call(t, "coalesce", ctxOf(vs("", "")), ""); !got.IsNull() {
+		t.Errorf("coalesce over nulls = %v", got)
+	}
+}
+
+func TestFirstLastIncludeNulls(t *testing.T) {
+	ctx := ctxOf(vs("", "b", "c"))
+	if got := call(t, "first", ctx, ""); !got.IsNull() {
+		t.Errorf("first must return the leading NULL, got %v", got)
+	}
+	ctx2 := ctxOf(vs("a", "b", ""))
+	if got := call(t, "last", ctx2, ""); !got.IsNull() {
+		t.Errorf("last must return the trailing NULL, got %v", got)
+	}
+	if got := call(t, "first", ctxOf(nil), ""); !got.IsNull() {
+		t.Errorf("first of empty = %v", got)
+	}
+}
+
+func TestVote(t *testing.T) {
+	if got := call(t, "vote", ctxOf(vs("a", "b", "b", "c")), ""); got.Text() != "b" {
+		t.Errorf("vote = %v, want b", got)
+	}
+	// Tie: first-appearing value wins (deterministic tie-break).
+	if got := call(t, "vote", ctxOf(vs("x", "y")), ""); got.Text() != "x" {
+		t.Errorf("vote tie = %v, want x", got)
+	}
+	// NULLs don't vote.
+	if got := call(t, "vote", ctxOf(vs("", "", "z")), ""); got.Text() != "z" {
+		t.Errorf("vote with nulls = %v, want z", got)
+	}
+	if got := call(t, "vote", ctxOf(vs("", "")), ""); !got.IsNull() {
+		t.Errorf("vote over nulls = %v", got)
+	}
+}
+
+func TestGroup(t *testing.T) {
+	if got := call(t, "group", ctxOf(vs("a", "b", "a")), ""); got.Text() != "{a, b}" {
+		t.Errorf("group = %v, want {a, b}", got)
+	}
+	// Single distinct value: returned unwrapped.
+	if got := call(t, "group", ctxOf(vs("a", "a")), ""); got.Text() != "a" {
+		t.Errorf("group single = %v, want a", got)
+	}
+	if got := call(t, "group", ctxOf(vs("", "")), ""); !got.IsNull() {
+		t.Errorf("group over nulls = %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	if got := call(t, "concat", ctxOf(vs("a", "b", "a")), ""); got.Text() != "a, b" {
+		t.Errorf("concat = %v", got)
+	}
+}
+
+func TestAnnotatedConcat(t *testing.T) {
+	ctx := ctxOf(vs("12.99", "11.49"), "shopA", "shopB")
+	got := call(t, "annconcat", ctx, "")
+	want := "12.99 [shopA], 11.49 [shopB]"
+	if got.Text() != want {
+		t.Errorf("annconcat = %q, want %q", got.Text(), want)
+	}
+}
+
+func TestShortestLongest(t *testing.T) {
+	ctx := ctxOf(vs("abc", "a", "ab"))
+	if got := call(t, "shortest", ctx, ""); got.Text() != "a" {
+		t.Errorf("shortest = %v", got)
+	}
+	if got := call(t, "longest", ctx, ""); got.Text() != "abc" {
+		t.Errorf("longest = %v", got)
+	}
+	// Tie: first wins.
+	tie := ctxOf(vs("xy", "ab"))
+	if got := call(t, "shortest", tie, ""); got.Text() != "xy" {
+		t.Errorf("shortest tie = %v", got)
+	}
+}
+
+func TestChoose(t *testing.T) {
+	ctx := ctxOf(vs("10", "20", "30"), "s1", "s2", "s3")
+	if got := call(t, "choose", ctx, "s2"); !got.Equal(value.NewInt(20)) {
+		t.Errorf("choose(s2) = %v", got)
+	}
+	if got := call(t, "choose", ctx, "S3"); !got.Equal(value.NewInt(30)) {
+		t.Errorf("choose must be case-insensitive on source, got %v", got)
+	}
+	if got := call(t, "choose", ctx, "absent"); !got.IsNull() {
+		t.Errorf("choose(absent) = %v", got)
+	}
+	// Missing argument is an error.
+	reg := NewRegistry()
+	f, _ := reg.Lookup("choose")
+	if _, err := f(ctx, ""); err == nil {
+		t.Error("choose without argument must error")
+	}
+	// First non-null of the chosen source wins.
+	ctx2 := ctxOf(vs("", "7"), "s1", "s1")
+	if got := call(t, "choose", ctx2, "s1"); !got.Equal(value.NewInt(7)) {
+		t.Errorf("choose skips nulls of its source, got %v", got)
+	}
+}
+
+func TestMostRecentWithTimestampColumn(t *testing.T) {
+	s := schema.FromNames("price", "updated")
+	rows := []relation.Row{
+		{value.NewInt(10), value.Parse("2005-01-01")},
+		{value.NewInt(20), value.Parse("2005-06-01")},
+		{value.NewInt(15), value.Parse("2005-03-01")},
+	}
+	ctx := &Context{
+		Column: "price", Relation: "t", Schema: s, Rows: rows,
+		Values:  []value.Value{rows[0][0], rows[1][0], rows[2][0]},
+		Sources: []string{"a", "b", "c"},
+	}
+	if got := call(t, "mostrecent", ctx, "updated"); !got.Equal(value.NewInt(20)) {
+		t.Errorf("mostrecent = %v, want 20", got)
+	}
+}
+
+func TestMostRecentNullTimestampLoses(t *testing.T) {
+	s := schema.FromNames("price", "updated")
+	rows := []relation.Row{
+		{value.NewInt(10), value.Null},
+		{value.NewInt(20), value.Parse("2005-06-01")},
+	}
+	ctx := &Context{
+		Column: "price", Relation: "t", Schema: s, Rows: rows,
+		Values:  []value.Value{rows[0][0], rows[1][0]},
+		Sources: []string{"a", "b"},
+	}
+	if got := call(t, "mostrecent", ctx, "updated"); !got.Equal(value.NewInt(20)) {
+		t.Errorf("mostrecent = %v, want dated row to win", got)
+	}
+}
+
+func TestMostRecentWithoutArgTakesLastNonNull(t *testing.T) {
+	ctx := ctxOf(vs("a", "b", ""))
+	if got := call(t, "mostrecent", ctx, ""); got.Text() != "b" {
+		t.Errorf("mostrecent no-arg = %v, want b", got)
+	}
+}
+
+func TestMostRecentUnknownColumnErrors(t *testing.T) {
+	reg := NewRegistry()
+	f, _ := reg.Lookup("mostrecent")
+	if _, err := f(ctxOf(vs("a")), "no_such_col"); err == nil {
+		t.Error("unknown recency column must error")
+	}
+}
+
+func TestNumericAggregates(t *testing.T) {
+	ctx := ctxOf(vs("1", "3", "", "2"))
+	if got := call(t, "min", ctx, ""); !got.Equal(value.NewInt(1)) {
+		t.Errorf("min = %v", got)
+	}
+	if got := call(t, "max", ctx, ""); !got.Equal(value.NewInt(3)) {
+		t.Errorf("max = %v", got)
+	}
+	if got := call(t, "sum", ctx, ""); !got.Equal(value.NewInt(6)) {
+		t.Errorf("sum = %v", got)
+	}
+	if got := call(t, "avg", ctx, ""); !got.Equal(value.NewFloat(2)) {
+		t.Errorf("avg = %v", got)
+	}
+	if got := call(t, "count", ctx, ""); !got.Equal(value.NewInt(3)) {
+		t.Errorf("count = %v", got)
+	}
+	if got := call(t, "median", ctx, ""); !got.Equal(value.NewFloat(2)) {
+		t.Errorf("median = %v", got)
+	}
+}
+
+func TestSumMixedTypes(t *testing.T) {
+	if got := call(t, "sum", ctxOf(vs("1", "2.5")), ""); !got.Equal(value.NewFloat(3.5)) {
+		t.Errorf("sum mixed = %v", got)
+	}
+	if got := call(t, "sum", ctxOf(vs("", "")), ""); !got.IsNull() {
+		t.Errorf("sum of nulls = %v", got)
+	}
+}
+
+func TestMinMaxWorkOnStrings(t *testing.T) {
+	ctx := ctxOf(vs("pear", "apple", "zebra"))
+	if got := call(t, "min", ctx, ""); got.Text() != "apple" {
+		t.Errorf("string min = %v", got)
+	}
+	if got := call(t, "max", ctx, ""); got.Text() != "zebra" {
+		t.Errorf("string max = %v", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	got := call(t, "stddev", ctxOf(vs("2", "4", "4", "4", "5", "5", "7", "9")), "")
+	if math.Abs(got.Float()-2.0) > 1e-9 {
+		t.Errorf("stddev = %v, want 2", got)
+	}
+	if got := call(t, "stddev", ctxOf(vs("")), ""); !got.IsNull() {
+		t.Errorf("stddev of nothing = %v", got)
+	}
+}
+
+func TestMedianEvenCountTakesLowerMiddle(t *testing.T) {
+	got := call(t, "median", ctxOf(vs("1", "2", "3", "4")), "")
+	if !got.Equal(value.NewFloat(2)) {
+		t.Errorf("median even = %v, want 2 (observed value)", got)
+	}
+}
+
+func TestRegistryExtensibility(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("CheapestShop", func(ctx *Context, _ string) (value.Value, error) {
+		return value.NewString("custom"), nil
+	})
+	f, ok := reg.Lookup("cheapestshop")
+	if !ok {
+		t.Fatal("custom function not found (lookup must be case-insensitive)")
+	}
+	v, _ := f(nil, "")
+	if v.Text() != "custom" {
+		t.Errorf("custom fn = %v", v)
+	}
+}
+
+func TestRegistryNamesContainPaperFunctions(t *testing.T) {
+	reg := NewRegistry()
+	for _, want := range []string{
+		"choose", "coalesce", "first", "last", "vote", "group",
+		"concat", "annconcat", "shortest", "longest", "mostrecent",
+		"min", "max", "sum", "avg", "count",
+	} {
+		if _, ok := reg.Lookup(want); !ok {
+			t.Errorf("paper function %q missing from registry", want)
+		}
+	}
+}
+
+func TestRandomIsDeterministicSubstitute(t *testing.T) {
+	ctx := ctxOf(vs("", "a", "b"))
+	for i := 0; i < 10; i++ {
+		if got := call(t, "random", ctx, ""); got.Text() != "a" {
+			t.Fatalf("random must be deterministic (first non-null), got %v", got)
+		}
+	}
+}
+
+func TestMostComplete(t *testing.T) {
+	s := schema.FromNames("v", "a", "b")
+	rows := []relation.Row{
+		{value.NewString("sparse"), value.Null, value.Null},
+		{value.NewString("full"), value.NewInt(1), value.NewInt(2)},
+	}
+	ctx := &Context{
+		Column: "v", Relation: "t", Schema: s, Rows: rows,
+		Values:  []value.Value{rows[0][0], rows[1][0]},
+		Sources: []string{"s1", "s2"},
+	}
+	if got := call(t, "mostcomplete", ctx, ""); got.Text() != "full" {
+		t.Errorf("mostcomplete = %v, want the value from the fullest row", got)
+	}
+	// All-null column → NULL.
+	empty := ctxOf(vs("", ""))
+	if got := call(t, "mostcomplete", empty, ""); !got.IsNull() {
+		t.Errorf("mostcomplete over nulls = %v", got)
+	}
+	// Tie: earlier tuple wins.
+	tie := ctxOf(vs("x", "y"))
+	if got := call(t, "mostcomplete", tie, ""); got.Text() != "x" {
+		t.Errorf("mostcomplete tie = %v, want x", got)
+	}
+}

@@ -1,0 +1,316 @@
+package fusion
+
+import (
+	"fmt"
+	"strings"
+
+	"hummer/internal/lineage"
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// OutputItem is one column of the fused output: which input column to
+// resolve, how, and under what output name. The same input column may
+// appear in several items with different resolution functions (e.g.
+// the minimum price and the annotated list of all prices).
+type OutputItem struct {
+	// Column is the input attribute.
+	Column string
+	// Spec is the resolution function; the zero Spec means the run's
+	// Default.
+	Spec Spec
+	// As is the output column name; empty means Column.
+	As string
+}
+
+// Options controls one fusion run.
+type Options struct {
+	// GroupBy are the object-identifier attributes (the FUSE BY
+	// clause, or the objectID column after duplicate detection).
+	// Required.
+	GroupBy []string
+	// Items explicitly lists the output columns. When set, Columns
+	// and Rules are ignored for these items; IncludeRest optionally
+	// appends the remaining data columns.
+	Items []OutputItem
+	// IncludeRest, with Items, appends every data column not already
+	// named by an item (the * wildcard alongside RESOLVE items).
+	IncludeRest bool
+	// Rules maps column names (case-insensitive) to resolution
+	// specs; columns without a rule use Default. Used when Items is
+	// empty, and for columns appended by IncludeRest.
+	Rules map[string]Spec
+	// Default is the resolution spec for unruled columns; the zero
+	// value means Coalesce, HumMer's documented default.
+	Default Spec
+	// Columns selects and orders the output columns when Items is
+	// empty. Empty means: all input columns except bookkeeping
+	// (sourceID, objectID).
+	Columns []string
+	// KeepBookkeeping retains sourceID/objectID columns in the
+	// default column selection.
+	KeepBookkeeping bool
+}
+
+// Result is the fused relation plus per-cell lineage: Lineage[i][j]
+// names the sources and rows that contributed to cell (i,j) — the data
+// behind the demo's color-coded display.
+type Result struct {
+	Rel     *relation.Relation
+	Lineage [][]lineage.Set
+	// Groups holds, for each output row, the input row indices fused
+	// into it.
+	Groups [][]int
+}
+
+// Fuse merges rel's duplicate groups into single tuples. Rows are
+// grouped by equality on the GroupBy attributes; rows with NULL in any
+// grouping attribute form singleton groups (an unknown object
+// identifier never equals another unknown, unlike SQL GROUP BY — this
+// follows the Fuse By semantics of grouping *objects*).
+func Fuse(rel *relation.Relation, reg *Registry, opts Options) (*Result, error) {
+	if len(opts.GroupBy) == 0 {
+		return nil, fmt.Errorf("fusion: no FUSE BY attributes given")
+	}
+	s := rel.Schema()
+	groupIdx := make([]int, len(opts.GroupBy))
+	for i, g := range opts.GroupBy {
+		j, ok := s.Lookup(g)
+		if !ok {
+			return nil, fmt.Errorf("fusion: no FUSE BY attribute %q in %s", g, s)
+		}
+		groupIdx[i] = j
+	}
+
+	items, err := resolveItems(s, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Resolve the per-item specs to functions once.
+	def := opts.Default
+	if def.Name == "" {
+		def = Coalesce
+	}
+	type colPlan struct {
+		name string // input column
+		out  string // output name
+		idx  int
+		fn   Func
+		spec Spec
+	}
+	plans := make([]colPlan, len(items))
+	outCols := make([]schema.Column, len(items))
+	seenOut := map[string]bool{}
+	for i, it := range items {
+		j, ok := s.Lookup(it.Column)
+		if !ok {
+			return nil, fmt.Errorf("fusion: no output column %q in %s", it.Column, s)
+		}
+		spec := it.Spec
+		if spec.Name == "" {
+			spec = def
+		}
+		fn, ok := reg.Lookup(spec.Name)
+		if !ok {
+			return nil, fmt.Errorf("fusion: unknown resolution function %q for column %q", spec.Name, it.Column)
+		}
+		outName := it.As
+		if outName == "" {
+			outName = it.Column
+		}
+		if seenOut[strings.ToLower(outName)] {
+			return nil, fmt.Errorf("fusion: duplicate output column %q; use AS to rename", outName)
+		}
+		seenOut[strings.ToLower(outName)] = true
+		plans[i] = colPlan{name: it.Column, out: outName, idx: j, fn: fn, spec: spec}
+		outCols[i] = schema.Column{Name: outName, Type: s.Col(j).Type, Source: s.Col(j).Source}
+	}
+
+	groups := groupRows(rel, groupIdx)
+	srcIdx, hasSrc := s.Lookup(SourceIDColumn)
+
+	out := relation.New(rel.Name(), schema.New(outCols...))
+	res := &Result{Rel: out, Groups: groups}
+	for _, members := range groups {
+		rows := make([]relation.Row, len(members))
+		sources := make([]string, len(members))
+		for k, m := range members {
+			rows[k] = rel.Row(m)
+			if hasSrc && !rows[k][srcIdx].IsNull() {
+				sources[k] = rows[k][srcIdx].Text()
+			} else {
+				sources[k] = rel.Name()
+			}
+		}
+		fused := make(relation.Row, len(plans))
+		lin := make([]lineage.Set, len(plans))
+		for i, p := range plans {
+			ctx := &Context{
+				Column:   p.name,
+				Relation: rel.Name(),
+				Schema:   s,
+				Rows:     rows,
+				Values:   columnSlice(rows, p.idx),
+				Sources:  sources,
+			}
+			v, err := p.fn(ctx, p.spec.Arg)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: resolving %q: %w", p.name, err)
+			}
+			fused[i] = v
+			lin[i] = cellLineage(ctx, v, members)
+		}
+		if err := out.Append(fused); err != nil {
+			return nil, err
+		}
+		res.Lineage = append(res.Lineage, lin)
+	}
+	return res, nil
+}
+
+// SourceIDColumn mirrors dupdetect's constant to avoid the import; the
+// transformation phase owns the name.
+const SourceIDColumn = "sourceID"
+
+// ObjectIDColumn mirrors dupdetect's constant.
+const ObjectIDColumn = "objectID"
+
+// resolveItems expands Options into the concrete output-item list.
+func resolveItems(s *schema.Schema, opts Options) ([]OutputItem, error) {
+	ruleFor := func(col string) Spec {
+		for rn, rs := range opts.Rules {
+			if strings.EqualFold(rn, col) {
+				return rs
+			}
+		}
+		return Spec{}
+	}
+	if len(opts.Items) > 0 {
+		items := append([]OutputItem(nil), opts.Items...)
+		if opts.IncludeRest {
+			named := map[string]bool{}
+			for _, it := range items {
+				named[strings.ToLower(it.Column)] = true
+			}
+			for _, c := range s.Names() {
+				if !opts.KeepBookkeeping &&
+					(strings.EqualFold(c, SourceIDColumn) || strings.EqualFold(c, ObjectIDColumn)) {
+					continue
+				}
+				if named[strings.ToLower(c)] {
+					continue
+				}
+				items = append(items, OutputItem{Column: c, Spec: ruleFor(c)})
+			}
+		}
+		return items, nil
+	}
+	cols, err := selectColumns(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]OutputItem, len(cols))
+	for i, c := range cols {
+		items[i] = OutputItem{Column: c, Spec: ruleFor(c)}
+	}
+	return items, nil
+}
+
+func selectColumns(s *schema.Schema, opts Options) ([]string, error) {
+	if len(opts.Columns) > 0 {
+		for _, c := range opts.Columns {
+			if !s.Has(c) {
+				return nil, fmt.Errorf("fusion: no output column %q in %s", c, s)
+			}
+		}
+		return opts.Columns, nil
+	}
+	var out []string
+	for _, c := range s.Names() {
+		if !opts.KeepBookkeeping &&
+			(strings.EqualFold(c, SourceIDColumn) || strings.EqualFold(c, ObjectIDColumn)) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// groupRows partitions row indices by equality on the group columns,
+// preserving first-appearance order. NULL keys form singletons.
+func groupRows(rel *relation.Relation, groupIdx []int) [][]int {
+	var groups [][]int
+	index := map[uint64][]int{} // hash → group ids
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		key := make(relation.Row, len(groupIdx))
+		hasNull := false
+		for k, j := range groupIdx {
+			key[k] = row[j]
+			if row[j].IsNull() {
+				hasNull = true
+			}
+		}
+		if hasNull {
+			groups = append(groups, []int{i})
+			continue
+		}
+		h := key.Hash()
+		placed := false
+		for _, gid := range index[h] {
+			first := rel.Row(groups[gid][0])
+			same := true
+			for k, j := range groupIdx {
+				if !first[j].Equal(key[k]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				groups[gid] = append(groups[gid], i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			index[h] = append(index[h], len(groups))
+			groups = append(groups, []int{i})
+		}
+	}
+	return groups
+}
+
+// columnSlice extracts one column from a list of rows.
+func columnSlice(rows []relation.Row, idx int) []value.Value {
+	out := make([]value.Value, len(rows))
+	for i, r := range rows {
+		out[i] = r[idx]
+	}
+	return out
+}
+
+// cellLineage records which input rows contributed to the resolved
+// value: rows whose value equals the result (the value's provenance),
+// or — when no row matches, e.g. for computed results like sum — all
+// non-null contributors.
+func cellLineage(ctx *Context, v value.Value, members []int) lineage.Set {
+	if v.IsNull() {
+		return lineage.Set{}
+	}
+	var sets []lineage.Set
+	for i, cv := range ctx.Values {
+		if !cv.IsNull() && cv.Equal(v) {
+			sets = append(sets, lineage.From(ctx.Sources[i], members[i]))
+		}
+	}
+	if len(sets) == 0 {
+		for i, cv := range ctx.Values {
+			if !cv.IsNull() {
+				sets = append(sets, lineage.From(ctx.Sources[i], members[i]))
+			}
+		}
+	}
+	return lineage.Merge(sets...)
+}

@@ -1,0 +1,266 @@
+package fusion
+
+import (
+	"testing"
+
+	"hummer/internal/relation"
+	"hummer/internal/value"
+)
+
+// mergedStudents is the paper's running example after transformation
+// and duplicate detection: EE and CS students outer-unioned, with
+// sourceID and objectID columns.
+func mergedStudents() *relation.Relation {
+	return relation.NewBuilder("students", "sourceID", "Name", "Age", "Semester", "objectID").
+		AddText("EE_Student", "Jonathan Smith", "21", "", "0").
+		AddText("CS_Students", "Jonathan Smith", "22", "4", "0").
+		AddText("EE_Student", "Maria Garcia", "24", "", "1").
+		AddText("CS_Students", "Wei Chen", "21", "2", "2").
+		Build()
+}
+
+func TestFuseByObjectID(t *testing.T) {
+	res, err := Fuse(mergedStudents(), NewRegistry(), Options{
+		GroupBy: []string{"objectID"},
+		Rules:   map[string]Spec{"Age": {Name: "max"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Rel
+	if out.Len() != 3 {
+		t.Fatalf("fused rows = %d, want 3", out.Len())
+	}
+	// Bookkeeping columns dropped by default.
+	if out.Schema().Has("sourceID") || out.Schema().Has("objectID") {
+		t.Errorf("bookkeeping columns leaked: %v", out.Schema().Names())
+	}
+	// Jonathan: max age 22, semester coalesces to 4.
+	if got := out.Value(0, "Age"); !got.Equal(value.NewInt(22)) {
+		t.Errorf("fused Age = %v, want max 22 (paper example: students only get older)", got)
+	}
+	if got := out.Value(0, "Semester"); !got.Equal(value.NewInt(4)) {
+		t.Errorf("fused Semester = %v, want 4 via coalesce", got)
+	}
+	if got := out.Value(1, "Name").Text(); got != "Maria Garcia" {
+		t.Errorf("row 1 = %q", got)
+	}
+}
+
+func TestFuseByNaturalKey(t *testing.T) {
+	// FUSE BY (Name) — grouping on the stated attribute, as in the
+	// paper's example statement.
+	res, err := Fuse(mergedStudents(), NewRegistry(), Options{
+		GroupBy: []string{"Name"},
+		Rules:   map[string]Spec{"Age": {Name: "max"}},
+		Columns: []string{"Name", "Age"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", res.Rel.Len())
+	}
+	if got := res.Rel.Value(0, "Age"); !got.Equal(value.NewInt(22)) {
+		t.Errorf("Age = %v, want 22", got)
+	}
+}
+
+func TestNullGroupKeysFormSingletons(t *testing.T) {
+	rel := relation.NewBuilder("t", "Name", "v").
+		AddText("", "1").
+		AddText("", "2").
+		AddText("x", "3").
+		AddText("x", "4").
+		Build()
+	res, err := Fuse(rel, NewRegistry(), Options{GroupBy: []string{"Name"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two NULL-keyed singletons + one fused x group.
+	if res.Rel.Len() != 3 {
+		t.Fatalf("rows = %d, want 3 (NULL keys must not merge)", res.Rel.Len())
+	}
+}
+
+func TestDefaultResolutionIsCoalesce(t *testing.T) {
+	rel := relation.NewBuilder("t", "k", "v").
+		AddText("a", "").
+		AddText("a", "second").
+		Build()
+	res, err := Fuse(rel, NewRegistry(), Options{GroupBy: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rel.Value(0, "v").Text(); got != "second" {
+		t.Errorf("default coalesce = %q", got)
+	}
+}
+
+func TestCustomDefault(t *testing.T) {
+	rel := relation.NewBuilder("t", "k", "v").
+		AddText("a", "x").
+		AddText("a", "y").
+		Build()
+	res, err := Fuse(rel, NewRegistry(), Options{
+		GroupBy: []string{"k"},
+		Default: Spec{Name: "concat"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rel.Value(0, "v").Text(); got != "x, y" {
+		t.Errorf("custom default = %q", got)
+	}
+}
+
+func TestFuseErrors(t *testing.T) {
+	rel := mergedStudents()
+	reg := NewRegistry()
+	if _, err := Fuse(rel, reg, Options{}); err == nil {
+		t.Error("missing GroupBy must error")
+	}
+	if _, err := Fuse(rel, reg, Options{GroupBy: []string{"nope"}}); err == nil {
+		t.Error("unknown group attribute must error")
+	}
+	if _, err := Fuse(rel, reg, Options{
+		GroupBy: []string{"objectID"},
+		Rules:   map[string]Spec{"Age": {Name: "no_such_fn"}},
+	}); err == nil {
+		t.Error("unknown resolution function must error")
+	}
+	if _, err := Fuse(rel, reg, Options{
+		GroupBy: []string{"objectID"},
+		Columns: []string{"ghost"},
+	}); err == nil {
+		t.Error("unknown output column must error")
+	}
+}
+
+func TestLineageTracksContributors(t *testing.T) {
+	res, err := Fuse(mergedStudents(), NewRegistry(), Options{
+		GroupBy: []string{"objectID"},
+		Rules:   map[string]Spec{"Age": {Name: "max"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameCol := res.Rel.Schema().MustLookup("Name")
+	ageCol := res.Rel.Schema().MustLookup("Age")
+	// Jonathan's name came from both sources (both rows agree).
+	nameLin := res.Lineage[0][nameCol]
+	if !nameLin.IsMixed() {
+		t.Errorf("agreeing name must have mixed lineage, got %v", nameLin.Sources())
+	}
+	// Jonathan's max age (22) came only from CS_Students.
+	ageLin := res.Lineage[0][ageCol]
+	if ageLin.IsMixed() {
+		t.Errorf("max-age lineage must be single-source, got %v", ageLin.Sources())
+	}
+	if srcs := ageLin.Sources(); len(srcs) != 1 || srcs[0] != "CS_Students" {
+		t.Errorf("age lineage = %v, want [CS_Students]", srcs)
+	}
+}
+
+func TestLineageForComputedValues(t *testing.T) {
+	// sum produces a value no input row holds: lineage must cover all
+	// non-null contributors.
+	rel := relation.NewBuilder("t", "sourceID", "k", "v").
+		AddText("s1", "a", "1").
+		AddText("s2", "a", "2").
+		Build()
+	res, err := Fuse(rel, NewRegistry(), Options{
+		GroupBy: []string{"k"},
+		Rules:   map[string]Spec{"v": {Name: "sum"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vCol := res.Rel.Schema().MustLookup("v")
+	lin := res.Lineage[0][vCol]
+	if !lin.IsMixed() {
+		t.Errorf("computed sum lineage = %v, want both sources", lin.Sources())
+	}
+}
+
+func TestGroupsRecorded(t *testing.T) {
+	res, err := Fuse(mergedStudents(), NewRegistry(), Options{GroupBy: []string{"objectID"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("groups = %v", res.Groups)
+	}
+	if len(res.Groups[0]) != 2 || res.Groups[0][0] != 0 || res.Groups[0][1] != 1 {
+		t.Errorf("group 0 = %v, want [0 1]", res.Groups[0])
+	}
+}
+
+func TestKeepBookkeeping(t *testing.T) {
+	res, err := Fuse(mergedStudents(), NewRegistry(), Options{
+		GroupBy:         []string{"objectID"},
+		KeepBookkeeping: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rel.Schema().Has("sourceID") || !res.Rel.Schema().Has("objectID") {
+		t.Error("KeepBookkeeping must retain the columns")
+	}
+}
+
+func TestChooseSourceInFusion(t *testing.T) {
+	// The CD-shopping scenario: favor the data of the cheapest store.
+	rel := relation.NewBuilder("cds", "sourceID", "Title", "Price", "objectID").
+		AddText("shopA", "Abbey Road", "18.99", "0").
+		AddText("shopB", "Abbey Road (Remaster)", "12.49", "0").
+		Build()
+	res, err := Fuse(rel, NewRegistry(), Options{
+		GroupBy: []string{"objectID"},
+		Rules: map[string]Spec{
+			"Title": {Name: "choose", Arg: "shopB"},
+			"Price": {Name: "min"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rel.Value(0, "Title").Text(); got != "Abbey Road (Remaster)" {
+		t.Errorf("Title = %q, want shopB's", got)
+	}
+	if got := res.Rel.Value(0, "Price"); !got.Equal(value.NewFloat(12.49)) {
+		t.Errorf("Price = %v, want 12.49", got)
+	}
+}
+
+func TestMultiColumnGroupBy(t *testing.T) {
+	rel := relation.NewBuilder("t", "a", "b", "v").
+		AddText("1", "x", "p").
+		AddText("1", "x", "q").
+		AddText("1", "y", "r").
+		Build()
+	res, err := Fuse(rel, NewRegistry(), Options{GroupBy: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Rel.Len())
+	}
+}
+
+func TestSingletonGroupsPassThrough(t *testing.T) {
+	rel := relation.NewBuilder("t", "k", "v").
+		AddText("a", "1").
+		AddText("b", "2").
+		Build()
+	res, err := Fuse(rel, NewRegistry(), Options{GroupBy: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel.Len() != 2 {
+		t.Fatalf("rows = %d", res.Rel.Len())
+	}
+	if got := res.Rel.Value(0, "v"); !got.Equal(value.NewInt(1)) {
+		t.Errorf("singleton v = %v", got)
+	}
+}

@@ -1,0 +1,283 @@
+package metadata
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// CSVSource loads a comma-separated file whose first row names the
+// columns. Cells are typed with value.Parse.
+type CSVSource struct {
+	AliasName string
+	Path      string
+	// Comma overrides the separator; zero means ','.
+	Comma rune
+}
+
+// Alias implements Source.
+func (s *CSVSource) Alias() string { return s.AliasName }
+
+// Load implements Source.
+func (s *CSVSource) Load() (*relation.Relation, error) {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	if s.Comma != 0 {
+		r.Comma = s.Comma
+	}
+	r.FieldsPerRecord = -1 // tolerate ragged rows; pad below
+	header, err := r.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("csv %s: empty file", s.Path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cols := dedupeNames(header)
+	rel := relation.New(s.AliasName, schema.FromNames(cols...))
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		row := make(relation.Row, len(cols))
+		for i := range cols {
+			if i < len(rec) {
+				row[i] = value.Parse(rec[i])
+			} else {
+				row[i] = value.Null
+			}
+		}
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// dedupeNames suffixes duplicate or empty header names so the schema
+// stays valid.
+func dedupeNames(header []string) []string {
+	out := make([]string, len(header))
+	seen := map[string]bool{}
+	for i, h := range header {
+		name := h
+		if name == "" {
+			name = "col" + strconv.Itoa(i+1)
+		}
+		base := name
+		for n := 2; seen[lower(name)]; n++ {
+			name = base + "_" + strconv.Itoa(n)
+		}
+		seen[lower(name)] = true
+		out[i] = name
+	}
+	return out
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// JSONSource loads a JSON array of flat objects. The relational form
+// has one column per key appearing in any object, in first-appearance
+// order (objects missing a key yield NULL). Nested values are
+// flattened to their JSON text.
+type JSONSource struct {
+	AliasName string
+	Path      string
+}
+
+// Alias implements Source.
+func (s *JSONSource) Alias() string { return s.AliasName }
+
+// Load implements Source.
+func (s *JSONSource) Load() (*relation.Relation, error) {
+	data, err := os.ReadFile(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("json %s: %w (expected an array of objects)", s.Path, err)
+	}
+	// Column order: first appearance across records, keys of one
+	// record sorted for determinism (Go maps are unordered).
+	var cols []string
+	seen := map[string]bool{}
+	for _, rec := range records {
+		keys := make([]string, 0, len(rec))
+		for k := range rec {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				cols = append(cols, k)
+			}
+		}
+	}
+	rel := relation.New(s.AliasName, schema.FromNames(cols...))
+	for _, rec := range records {
+		row := make(relation.Row, len(cols))
+		for i, k := range cols {
+			raw, ok := rec[k]
+			if !ok || raw == nil {
+				row[i] = value.Null
+				continue
+			}
+			row[i] = jsonValue(raw)
+		}
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func jsonValue(raw any) value.Value {
+	switch v := raw.(type) {
+	case string:
+		return value.Parse(v)
+	case float64:
+		if v == float64(int64(v)) {
+			return value.NewInt(int64(v))
+		}
+		return value.NewFloat(v)
+	case bool:
+		return value.NewBool(v)
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return value.Null
+		}
+		return value.NewString(string(b))
+	}
+}
+
+// XMLSource loads an XML file: every element named RecordTag becomes a
+// tuple; its child elements (and attributes) become columns.
+type XMLSource struct {
+	AliasName string
+	Path      string
+	RecordTag string
+}
+
+// Alias implements Source.
+func (s *XMLSource) Alias() string { return s.AliasName }
+
+// Load implements Source.
+func (s *XMLSource) Load() (*relation.Relation, error) {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := xml.NewDecoder(f)
+
+	type record struct {
+		fields map[string]string
+		order  []string
+	}
+	var records []record
+	var cols []string
+	seenCol := map[string]bool{}
+	addCol := func(name string) {
+		if !seenCol[name] {
+			seenCol[name] = true
+			cols = append(cols, name)
+		}
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xml %s: %w", s.Path, err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok || start.Name.Local != s.RecordTag {
+			continue
+		}
+		rec := record{fields: map[string]string{}}
+		for _, a := range start.Attr {
+			rec.fields[a.Name.Local] = a.Value
+			rec.order = append(rec.order, a.Name.Local)
+			addCol(a.Name.Local)
+		}
+		// Walk the record subtree: direct children become fields.
+		depth := 1
+		var curField string
+		var text []byte
+		for depth > 0 {
+			t, err := dec.Token()
+			if err != nil {
+				return nil, fmt.Errorf("xml %s: %w", s.Path, err)
+			}
+			switch e := t.(type) {
+			case xml.StartElement:
+				depth++
+				if depth == 2 {
+					curField = e.Name.Local
+					text = text[:0]
+				}
+			case xml.CharData:
+				if depth == 2 && curField != "" {
+					text = append(text, e...)
+				}
+			case xml.EndElement:
+				depth--
+				if depth == 1 && curField != "" {
+					rec.fields[curField] = string(text)
+					rec.order = append(rec.order, curField)
+					addCol(curField)
+					curField = ""
+				}
+			}
+		}
+		records = append(records, rec)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("xml %s: no <%s> records found", s.Path, s.RecordTag)
+	}
+	rel := relation.New(s.AliasName, schema.FromNames(cols...))
+	for _, rec := range records {
+		row := make(relation.Row, len(cols))
+		for i, c := range cols {
+			if raw, ok := rec.fields[c]; ok {
+				row[i] = value.Parse(raw)
+			} else {
+				row[i] = value.Null
+			}
+		}
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}

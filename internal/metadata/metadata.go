@@ -1,0 +1,153 @@
+// Package metadata implements HumMer's metadata repository: it stores
+// all registered data sources under an alias together with the
+// instructions needed to transform each source into its relational
+// form (paper §3). Sources can be in-memory relations, CSV files,
+// JSON files, or XML files.
+package metadata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hummer/internal/relation"
+)
+
+// Source is one registered data source: an alias plus a loader that
+// produces the relational form.
+type Source interface {
+	// Alias is the repository key the source is registered under.
+	Alias() string
+	// Load transforms the source into a relation. Loaders are called
+	// lazily and may be called more than once.
+	Load() (*relation.Relation, error)
+}
+
+// Repository maps aliases to sources and caches loaded relations. It
+// is safe for concurrent use.
+type Repository struct {
+	mu      sync.Mutex
+	sources map[string]Source
+	cache   map[string]*relation.Relation
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		sources: make(map[string]Source),
+		cache:   make(map[string]*relation.Relation),
+	}
+}
+
+// Register adds a source. Aliases are case-insensitive and must be
+// unique.
+func (r *Repository) Register(s Source) error {
+	key := strings.ToLower(s.Alias())
+	if key == "" {
+		return fmt.Errorf("metadata: empty alias")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sources[key]; dup {
+		return fmt.Errorf("metadata: alias %q already registered", s.Alias())
+	}
+	r.sources[key] = s
+	return nil
+}
+
+// RegisterRelation registers an in-memory relation under alias.
+func (r *Repository) RegisterRelation(alias string, rel *relation.Relation) error {
+	return r.Register(&relationSource{alias: alias, rel: rel})
+}
+
+// RegisterCSV registers a CSV file (first row = header).
+func (r *Repository) RegisterCSV(alias, path string) error {
+	return r.Register(&CSVSource{AliasName: alias, Path: path})
+}
+
+// RegisterJSON registers a JSON file holding an array of flat objects.
+func (r *Repository) RegisterJSON(alias, path string) error {
+	return r.Register(&JSONSource{AliasName: alias, Path: path})
+}
+
+// RegisterXML registers an XML file whose repeated recordTag elements
+// are the tuples.
+func (r *Repository) RegisterXML(alias, path, recordTag string) error {
+	return r.Register(&XMLSource{AliasName: alias, Path: path, RecordTag: recordTag})
+}
+
+// Get loads (and caches) the relational form of the aliased source.
+// The returned relation is named after the alias as registered.
+func (r *Repository) Get(alias string) (*relation.Relation, error) {
+	key := strings.ToLower(alias)
+	r.mu.Lock()
+	src, ok := r.sources[key]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("metadata: unknown source alias %q (registered: %s)",
+			alias, strings.Join(r.aliasesLocked(), ", "))
+	}
+	if rel, hit := r.cache[key]; hit {
+		r.mu.Unlock()
+		return rel, nil
+	}
+	r.mu.Unlock()
+
+	rel, err := src.Load()
+	if err != nil {
+		return nil, fmt.Errorf("metadata: loading %q: %w", alias, err)
+	}
+	rel.SetName(src.Alias())
+
+	r.mu.Lock()
+	r.cache[key] = rel
+	r.mu.Unlock()
+	return rel, nil
+}
+
+// Invalidate drops the cached relation for alias (e.g. after the
+// underlying file changed).
+func (r *Repository) Invalidate(alias string) {
+	r.mu.Lock()
+	delete(r.cache, strings.ToLower(alias))
+	r.mu.Unlock()
+}
+
+// Aliases lists the registered aliases, sorted.
+func (r *Repository) Aliases() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aliasesLocked()
+}
+
+func (r *Repository) aliasesLocked() []string {
+	out := make([]string, 0, len(r.sources))
+	for _, s := range r.sources {
+		out = append(out, s.Alias())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether alias is registered.
+func (r *Repository) Has(alias string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.sources[strings.ToLower(alias)]
+	return ok
+}
+
+type relationSource struct {
+	alias string
+	rel   *relation.Relation
+}
+
+func (s *relationSource) Alias() string { return s.alias }
+
+func (s *relationSource) Load() (*relation.Relation, error) {
+	if s.rel == nil {
+		return nil, fmt.Errorf("nil relation")
+	}
+	return s.rel, nil
+}

@@ -1,0 +1,280 @@
+package metadata
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hummer/internal/relation"
+	"hummer/internal/value"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegisterAndGetRelation(t *testing.T) {
+	repo := NewRepository()
+	rel := relation.NewBuilder("x", "a").AddText("1").Build()
+	if err := repo.RegisterRelation("MySource", rel); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Get("mysource") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("rows = %d", got.Len())
+	}
+	if got.Name() != "MySource" {
+		t.Errorf("loaded relation name = %q, want alias", got.Name())
+	}
+}
+
+func TestDuplicateAliasRejected(t *testing.T) {
+	repo := NewRepository()
+	rel := relation.NewBuilder("x", "a").Build()
+	if err := repo.RegisterRelation("s", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.RegisterRelation("S", rel); err == nil {
+		t.Error("case-colliding alias must be rejected")
+	}
+	if err := repo.RegisterRelation("", rel); err == nil {
+		t.Error("empty alias must be rejected")
+	}
+}
+
+func TestGetUnknownAlias(t *testing.T) {
+	repo := NewRepository()
+	if _, err := repo.Get("ghost"); err == nil {
+		t.Error("unknown alias must error")
+	}
+}
+
+func TestAliasesSorted(t *testing.T) {
+	repo := NewRepository()
+	rel := relation.NewBuilder("x", "a").Build()
+	for _, a := range []string{"zeta", "alpha", "mid"} {
+		if err := repo.RegisterRelation(a, rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if got := repo.Aliases(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Aliases = %v, want %v", got, want)
+	}
+	if !repo.Has("ALPHA") || repo.Has("nope") {
+		t.Error("Has misbehaves")
+	}
+}
+
+func TestCSVSource(t *testing.T) {
+	path := writeFile(t, "people.csv", "Name,Age,City\nAlice,30,Berlin\nBob,,Tokyo\n")
+	repo := NewRepository()
+	if err := repo.RegisterCSV("people", path); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := repo.Get("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if got := rel.Value(0, "Age"); !got.Equal(value.NewInt(30)) {
+		t.Errorf("typed cell = %v (%v)", got, got.Kind())
+	}
+	if !rel.Value(1, "Age").IsNull() {
+		t.Error("empty cell must be NULL")
+	}
+}
+
+func TestCSVRaggedRowsPadded(t *testing.T) {
+	path := writeFile(t, "r.csv", "a,b,c\n1,2\n")
+	repo := NewRepository()
+	if err := repo.RegisterCSV("r", path); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := repo.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Value(0, "c").IsNull() {
+		t.Error("short row must be NULL-padded")
+	}
+}
+
+func TestCSVDuplicateAndEmptyHeaders(t *testing.T) {
+	path := writeFile(t, "d.csv", "x,x,\n1,2,3\n")
+	repo := NewRepository()
+	if err := repo.RegisterCSV("d", path); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := repo.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := rel.Schema().Names()
+	if names[0] != "x" || names[1] != "x_2" || names[2] != "col3" {
+		t.Errorf("deduped headers = %v", names)
+	}
+}
+
+func TestCSVEmptyFileErrors(t *testing.T) {
+	path := writeFile(t, "e.csv", "")
+	src := &CSVSource{AliasName: "e", Path: path}
+	if _, err := src.Load(); err == nil {
+		t.Error("empty CSV must error")
+	}
+}
+
+func TestCSVMissingFileErrors(t *testing.T) {
+	src := &CSVSource{AliasName: "m", Path: "/no/such/file.csv"}
+	if _, err := src.Load(); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestCSVCustomSeparator(t *testing.T) {
+	path := writeFile(t, "semi.csv", "a;b\n1;2\n")
+	src := &CSVSource{AliasName: "semi", Path: path, Comma: ';'}
+	rel, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Value(0, "b"); !got.Equal(value.NewInt(2)) {
+		t.Errorf("cell = %v", got)
+	}
+}
+
+func TestJSONSource(t *testing.T) {
+	path := writeFile(t, "cds.json", `[
+		{"title": "Abbey Road", "price": 12.99, "in_stock": true},
+		{"title": "Let It Be", "price": 10, "label": "Apple"}
+	]`)
+	repo := NewRepository()
+	if err := repo.RegisterJSON("cds", path); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := repo.Get("cds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if got := rel.Value(0, "price"); !got.Equal(value.NewFloat(12.99)) {
+		t.Errorf("price = %v", got)
+	}
+	if got := rel.Value(1, "price"); !got.Equal(value.NewInt(10)) {
+		t.Errorf("integral JSON number must become INT, got %v (%v)", got, got.Kind())
+	}
+	if got := rel.Value(0, "in_stock"); !got.Equal(value.NewBool(true)) {
+		t.Errorf("bool = %v", got)
+	}
+	if !rel.Value(0, "label").IsNull() {
+		t.Error("missing key must be NULL")
+	}
+}
+
+func TestJSONNestedValuesFlattened(t *testing.T) {
+	path := writeFile(t, "n.json", `[{"name": "x", "tags": ["a", "b"]}]`)
+	src := &JSONSource{AliasName: "n", Path: path}
+	rel, err := src.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Value(0, "tags").Text(); got != `["a","b"]` {
+		t.Errorf("nested = %q", got)
+	}
+}
+
+func TestJSONInvalidErrors(t *testing.T) {
+	path := writeFile(t, "bad.json", `{"not": "an array"}`)
+	src := &JSONSource{AliasName: "bad", Path: path}
+	if _, err := src.Load(); err == nil {
+		t.Error("non-array JSON must error")
+	}
+}
+
+func TestXMLSource(t *testing.T) {
+	path := writeFile(t, "victims.xml", `<?xml version="1.0"?>
+<report>
+  <person id="p1">
+    <name>Anan Chaiyasit</name>
+    <status>missing</status>
+    <location>Phuket</location>
+  </person>
+  <person id="p2">
+    <name>Somchai Woranut</name>
+    <status>hospital</status>
+  </person>
+</report>`)
+	repo := NewRepository()
+	if err := repo.RegisterXML("victims", path, "person"); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := repo.Get("victims")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d", rel.Len())
+	}
+	if got := rel.Value(0, "id").Text(); got != "p1" {
+		t.Errorf("attribute column = %q", got)
+	}
+	if got := rel.Value(0, "name").Text(); got != "Anan Chaiyasit" {
+		t.Errorf("name = %q", got)
+	}
+	if !rel.Value(1, "location").IsNull() {
+		t.Error("absent element must be NULL")
+	}
+}
+
+func TestXMLNoRecordsErrors(t *testing.T) {
+	path := writeFile(t, "x.xml", `<root><other/></root>`)
+	src := &XMLSource{AliasName: "x", Path: path, RecordTag: "person"}
+	if _, err := src.Load(); err == nil {
+		t.Error("no matching records must error")
+	}
+}
+
+func TestCacheAndInvalidate(t *testing.T) {
+	path := writeFile(t, "c.csv", "a\n1\n")
+	repo := NewRepository()
+	if err := repo.RegisterCSV("c", path); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := repo.Get("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := repo.Get("c")
+	if r1 != r2 {
+		t.Error("second Get must hit the cache")
+	}
+	// Rewrite the file; without invalidation the cache serves stale data.
+	if err := os.WriteFile(path, []byte("a\n1\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3, _ := repo.Get("c")
+	if r3.Len() != 1 {
+		t.Error("cache should still serve the old version")
+	}
+	repo.Invalidate("c")
+	r4, err := repo.Get("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Len() != 2 {
+		t.Error("Invalidate must force a reload")
+	}
+}

@@ -1,0 +1,348 @@
+// Package plan turns parsed statements into executions. Fuse By
+// statements run through the core pipeline (schema matching →
+// duplicate detection → conflict resolution); plain SELECT statements
+// run directly on the relational engine.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"hummer/internal/core"
+	"hummer/internal/dupdetect"
+	"hummer/internal/engine"
+	"hummer/internal/expr"
+	"hummer/internal/fusion"
+	"hummer/internal/lineage"
+	"hummer/internal/metadata"
+	"hummer/internal/relation"
+	"hummer/internal/sql"
+)
+
+// QueryResult is the outcome of executing one statement.
+type QueryResult struct {
+	// Rel is the result table.
+	Rel *relation.Relation
+	// Lineage carries per-cell provenance for fusion queries (aligned
+	// with Rel before post-processing may reorder rows); nil for
+	// plain SQL. Lineage follows Rel's row order.
+	Lineage [][]lineage.Set
+	// Pipeline exposes the intermediate phases for fusion queries.
+	Pipeline *core.Result
+}
+
+// Executor runs statements against a metadata repository.
+type Executor struct {
+	// Repo resolves table aliases. Required.
+	Repo *metadata.Repository
+	// Registry resolves conflict-resolution functions; nil means
+	// built-ins.
+	Registry *fusion.Registry
+	// Pipeline, when set, is used for fusion queries (lets callers
+	// install wizard hooks); nil builds a fresh pipeline from Repo
+	// and Registry.
+	Pipeline *core.Pipeline
+}
+
+// Query parses and executes one statement.
+func (e *Executor) Query(q string) (*QueryResult, error) {
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(stmt)
+}
+
+// Execute runs a parsed statement.
+func (e *Executor) Execute(stmt *sql.Stmt) (*QueryResult, error) {
+	if e.Repo == nil {
+		return nil, fmt.Errorf("plan: executor has no repository")
+	}
+	if stmt.IsFusion() {
+		return e.executeFusion(stmt)
+	}
+	return e.executePlain(stmt)
+}
+
+// --- Fusion statements ------------------------------------------------------
+
+func (e *Executor) executeFusion(stmt *sql.Stmt) (*QueryResult, error) {
+	if len(stmt.Joins) > 0 {
+		return nil, fmt.Errorf("plan: JOIN is not supported in FUSE statements; use FUSE FROM")
+	}
+	p := e.Pipeline
+	if p == nil {
+		p = &core.Pipeline{Repo: e.Repo, Registry: e.Registry}
+	}
+	aliases := make([]string, len(stmt.Tables))
+	for i, t := range stmt.Tables {
+		aliases[i] = t.Name
+	}
+
+	opts := core.Options{
+		FuseBy: stmt.FuseBy,
+		Where:  stmt.Where,
+	}
+	// SELECT list → fusion output items. The * wildcard appends "all
+	// attributes present in the sources" (§2.1) not already selected.
+	star := false
+	var items []fusion.OutputItem
+	for _, it := range stmt.Items {
+		if it.Star {
+			star = true
+			continue
+		}
+		if it.Agg != "" {
+			return nil, fmt.Errorf("plan: aggregate %s(%s) in a FUSE statement; use RESOLVE(%s, %s)",
+				it.Agg, it.Col, it.Col, it.Agg)
+		}
+		if it.Expr != nil {
+			return nil, fmt.Errorf("plan: computed expression %s is not supported in a FUSE statement", it.Expr)
+		}
+		item := fusion.OutputItem{Column: it.Col, As: it.Alias}
+		if it.Resolve != nil && it.Resolve.Func != "" {
+			item.Spec = fusion.Spec{Name: it.Resolve.Func, Arg: it.Resolve.Arg}
+		}
+		items = append(items, item)
+	}
+	if len(items) > 0 {
+		opts.Items = items
+		opts.IncludeRest = star
+	}
+	// With only the * wildcard, Items stays empty: all data columns
+	// with the default resolution.
+
+	res, err := p.Run(aliases, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := res.Fused.Rel
+	lin := res.Fused.Lineage
+
+	out, lin, err = postProcess(out, lin, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Rel: out, Lineage: lin, Pipeline: res}, nil
+}
+
+// postProcess applies HAVING, ORDER BY and LIMIT to a fused result,
+// keeping the lineage aligned with the surviving rows.
+func postProcess(rel *relation.Relation, lin [][]lineage.Set, stmt *sql.Stmt) (*relation.Relation, [][]lineage.Set, error) {
+	type taggedRow struct {
+		row relation.Row
+		lin []lineage.Set
+	}
+	rows := make([]taggedRow, rel.Len())
+	for i := 0; i < rel.Len(); i++ {
+		rows[i] = taggedRow{row: rel.Row(i)}
+		if lin != nil {
+			rows[i].lin = lin[i]
+		}
+	}
+	if stmt.Having != nil {
+		if err := stmt.Having.Bind(rel.Schema()); err != nil {
+			return nil, nil, fmt.Errorf("plan: HAVING: %w", err)
+		}
+		var kept []taggedRow
+		for _, tr := range rows {
+			if expr.Truthy(stmt.Having.Eval(tr.row)) {
+				kept = append(kept, tr)
+			}
+		}
+		rows = kept
+	}
+	if len(stmt.OrderBy) > 0 {
+		idx := make([]int, len(stmt.OrderBy))
+		for i, k := range stmt.OrderBy {
+			j, ok := rel.Schema().Lookup(k.Col)
+			if !ok {
+				return nil, nil, fmt.Errorf("plan: ORDER BY: no column %q", k.Col)
+			}
+			idx[i] = j
+		}
+		stableSortTagged(rows, func(a, b taggedRow) int {
+			for i, j := range idx {
+				c := a.row[j].Compare(b.row[j])
+				if stmt.OrderBy[i].Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c
+				}
+			}
+			return 0
+		})
+	}
+	if stmt.Limit >= 0 && len(rows) > stmt.Limit {
+		rows = rows[:stmt.Limit]
+	}
+	out := relation.New(rel.Name(), rel.Schema())
+	var outLin [][]lineage.Set
+	for _, tr := range rows {
+		if err := out.Append(tr.row); err != nil {
+			return nil, nil, err
+		}
+		if lin != nil {
+			outLin = append(outLin, tr.lin)
+		}
+	}
+	return out, outLin, nil
+}
+
+func stableSortTagged[T any](rows []T, cmp func(a, b T) int) {
+	// Insertion sort: result sets after fusion are small, and
+	// stability matters for deterministic output.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && cmp(rows[j-1], rows[j]) > 0; j-- {
+			rows[j-1], rows[j] = rows[j], rows[j-1]
+		}
+	}
+}
+
+// --- Plain SQL ---------------------------------------------------------------
+
+func (e *Executor) executePlain(stmt *sql.Stmt) (*QueryResult, error) {
+	var op engine.Operator
+	for i, t := range stmt.Tables {
+		rel, err := e.Repo.Get(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		scan := engine.Operator(engine.NewScan(rel))
+		if i == 0 {
+			op = scan
+			continue
+		}
+		cross, err := engine.NewCross(op, scan)
+		if err != nil {
+			return nil, err
+		}
+		op = cross
+	}
+	if op == nil {
+		return nil, fmt.Errorf("plan: no tables")
+	}
+	for _, j := range stmt.Joins {
+		rel, err := e.Repo.Get(j.Table.Name)
+		if err != nil {
+			return nil, err
+		}
+		join, err := engine.NewHashJoin(op, engine.NewScan(rel), j.LeftCol, j.RightCol)
+		if err != nil {
+			return nil, err
+		}
+		op = join
+	}
+	if stmt.Where != nil {
+		op = engine.NewFilter(op, stmt.Where)
+	}
+
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	switch {
+	case hasAgg || len(stmt.GroupBy) > 0:
+		var err error
+		op, err = buildGroup(op, stmt)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		var err error
+		op, err = buildProject(op, stmt)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if stmt.Having != nil {
+		op = engine.NewFilter(op, stmt.Having)
+	}
+	if stmt.Distinct {
+		op = engine.NewDistinct(op)
+	}
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]engine.SortKey, len(stmt.OrderBy))
+		for i, k := range stmt.OrderBy {
+			keys[i] = engine.SortKey{Col: k.Col, Desc: k.Desc}
+		}
+		op = engine.NewSort(op, keys)
+	}
+	if stmt.Limit >= 0 {
+		op = engine.NewLimit(op, stmt.Limit)
+	}
+	rel, err := engine.Materialize("result", op)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Rel: rel}, nil
+}
+
+func buildProject(op engine.Operator, stmt *sql.Stmt) (engine.Operator, error) {
+	var items []engine.ProjectItem
+	for _, it := range stmt.Items {
+		switch {
+		case it.Star:
+			for _, n := range op.Schema().Names() {
+				items = append(items, engine.ProjectItem{Expr: expr.NewCol(n), As: n})
+			}
+		case it.Resolve != nil:
+			return nil, fmt.Errorf("plan: RESOLVE(%s) requires FUSE BY", it.Col)
+		case it.Expr != nil:
+			items = append(items, engine.ProjectItem{Expr: it.Expr, As: it.OutName()})
+		default:
+			items = append(items, engine.ProjectItem{Expr: expr.NewCol(it.Col), As: it.OutName()})
+		}
+	}
+	return engine.NewProject(op, items), nil
+}
+
+func buildGroup(op engine.Operator, stmt *sql.Stmt) (engine.Operator, error) {
+	var specs []engine.AggSpec
+	var outCols []string // post-group projection order
+	for _, it := range stmt.Items {
+		switch {
+		case it.Star:
+			return nil, fmt.Errorf("plan: * cannot be combined with GROUP BY")
+		case it.Resolve != nil:
+			return nil, fmt.Errorf("plan: RESOLVE(%s) requires FUSE BY", it.Col)
+		case it.Expr != nil:
+			return nil, fmt.Errorf("plan: computed expression %s cannot be combined with GROUP BY", it.Expr)
+		case it.Agg != "":
+			f, ok := engine.LookupAgg(it.Agg)
+			if !ok {
+				return nil, fmt.Errorf("plan: unknown aggregate %q", it.Agg)
+			}
+			specs = append(specs, engine.AggSpec{Factory: f, Col: it.Col, As: it.OutName()})
+			outCols = append(outCols, it.OutName())
+		default:
+			if !contains(stmt.GroupBy, it.Col) {
+				return nil, fmt.Errorf("plan: column %q must appear in GROUP BY or an aggregate", it.Col)
+			}
+			outCols = append(outCols, it.Col)
+		}
+	}
+	g, err := engine.NewGroup(op, stmt.GroupBy, specs)
+	if err != nil {
+		return nil, err
+	}
+	// Reorder to the select-list order.
+	return engine.NewProjectCols(g, outCols...), nil
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectIDColumn re-exports the detector's column name for callers
+// composing custom plans.
+const ObjectIDColumn = dupdetect.ObjectIDColumn

@@ -1,0 +1,213 @@
+// Package schema models relation schemas: ordered lists of typed,
+// named columns, plus the schema algebra HumMer's transformation phase
+// needs (rename, projection, outer-union alignment).
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"hummer/internal/value"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Name is the attribute name, unique within a schema
+	// (case-insensitively).
+	Name string
+	// Type is the declared kind. KindNull means "unknown / any",
+	// used before type inference has run.
+	Type value.Kind
+	// Source is the alias of the data source the column originated
+	// from; empty for derived columns.
+	Source string
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	cols  []Column
+	index map[string]int // lower-case name → position
+}
+
+// New builds a schema from cols. It panics on duplicate column names
+// (case-insensitive); schemas are constructed from trusted code paths
+// and a duplicate is always a programming error.
+func New(cols ...Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.index[key]; dup {
+			panic(fmt.Sprintf("schema: duplicate column %q", c.Name))
+		}
+		s.index[key] = i
+	}
+	return s
+}
+
+// FromNames builds an untyped schema from bare column names.
+func FromNames(names ...string) *Schema {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = Column{Name: n}
+	}
+	return New(cols...)
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Lookup returns the position of the named column (case-insensitive).
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// MustLookup is Lookup that panics on a missing column.
+func (s *Schema) MustLookup(name string) int {
+	i, ok := s.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("schema: no column %q in (%s)", name, strings.Join(s.Names(), ", ")))
+	}
+	return i
+}
+
+// Has reports whether the named column exists.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.Lookup(name)
+	return ok
+}
+
+// Equal reports whether two schemas have identical names (case-
+// insensitive) and types in the same order.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.cols {
+		if !strings.EqualFold(s.cols[i].Name, o.cols[i].Name) || s.cols[i].Type != o.cols[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		if c.Type != value.KindNull {
+			b.WriteByte(' ')
+			b.WriteString(c.Type.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Rename returns a copy of s with column old renamed to new. It returns
+// an error when old does not exist or new would collide.
+func (s *Schema) Rename(old, new string) (*Schema, error) {
+	i, ok := s.Lookup(old)
+	if !ok {
+		return nil, fmt.Errorf("schema: rename: no column %q", old)
+	}
+	if !strings.EqualFold(old, new) && s.Has(new) {
+		return nil, fmt.Errorf("schema: rename: column %q already exists", new)
+	}
+	cols := s.Columns()
+	cols[i].Name = new
+	return New(cols...), nil
+}
+
+// Project returns a schema with only the named columns, in the given
+// order.
+func (s *Schema) Project(names ...string) (*Schema, error) {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		i, ok := s.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("schema: project: no column %q", n)
+		}
+		cols = append(cols, s.cols[i])
+	}
+	return New(cols...), nil
+}
+
+// Append returns a schema with col added at the end.
+func (s *Schema) Append(col Column) (*Schema, error) {
+	if s.Has(col.Name) {
+		return nil, fmt.Errorf("schema: append: column %q already exists", col.Name)
+	}
+	return New(append(s.Columns(), col)...), nil
+}
+
+// OuterUnion aligns a list of schemas the way HumMer's transformation
+// phase does before the full outer union: the result contains every
+// column name appearing in any input, in first-appearance order
+// (favouring earlier schemas, i.e. the "preferred" source). Types are
+// unified: identical kinds are kept, mixed INT/FLOAT widens to FLOAT,
+// anything else degrades to KindNull (dynamic).
+func OuterUnion(schemas ...*Schema) *Schema {
+	var cols []Column
+	pos := map[string]int{}
+	for _, s := range schemas {
+		for _, c := range s.cols {
+			key := strings.ToLower(c.Name)
+			if j, ok := pos[key]; ok {
+				cols[j].Type = unify(cols[j].Type, c.Type)
+				if cols[j].Source != c.Source {
+					cols[j].Source = ""
+				}
+				continue
+			}
+			pos[key] = len(cols)
+			cols = append(cols, c)
+		}
+	}
+	return New(cols...)
+}
+
+func unify(a, b value.Kind) value.Kind {
+	if a == b {
+		return a
+	}
+	if (a == value.KindInt && b == value.KindFloat) || (a == value.KindFloat && b == value.KindInt) {
+		return value.KindFloat
+	}
+	return value.KindNull
+}
+
+// AlignmentOf maps each column of sub into the positions of super: the
+// returned slice has one entry per super column, holding the matching
+// sub position or -1. Used to pad tuples during outer union.
+func AlignmentOf(super, sub *Schema) []int {
+	align := make([]int, super.Len())
+	for i, c := range super.cols {
+		if j, ok := sub.Lookup(c.Name); ok {
+			align[i] = j
+		} else {
+			align[i] = -1
+		}
+	}
+	return align
+}

@@ -1,0 +1,172 @@
+package schema
+
+import (
+	"testing"
+
+	"hummer/internal/value"
+)
+
+func TestNewAndLookup(t *testing.T) {
+	s := New(
+		Column{Name: "Name", Type: value.KindString},
+		Column{Name: "Age", Type: value.KindInt},
+	)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if i, ok := s.Lookup("age"); !ok || i != 1 {
+		t.Errorf("Lookup(age) = %d,%v; want 1,true", i, ok)
+	}
+	if _, ok := s.Lookup("missing"); ok {
+		t.Error("Lookup(missing) should fail")
+	}
+	if !s.Has("NAME") {
+		t.Error("Has must be case-insensitive")
+	}
+}
+
+func TestNewPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate column")
+		}
+	}()
+	New(Column{Name: "a"}, Column{Name: "A"})
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing column")
+		}
+	}()
+	FromNames("a").MustLookup("b")
+}
+
+func TestFromNames(t *testing.T) {
+	s := FromNames("x", "y", "z")
+	want := []string{"x", "y", "z"}
+	got := s.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := FromNames("a", "b")
+	r, err := s.Rename("a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("c") || r.Has("a") {
+		t.Error("rename did not take effect")
+	}
+	if s.Has("c") {
+		t.Error("rename mutated the original schema")
+	}
+	if _, err := s.Rename("z", "w"); err == nil {
+		t.Error("renaming missing column must fail")
+	}
+	if _, err := s.Rename("a", "b"); err == nil {
+		t.Error("renaming onto existing column must fail")
+	}
+	// Case-only rename of the same column is allowed.
+	if _, err := s.Rename("a", "A"); err != nil {
+		t.Errorf("case-only rename failed: %v", err)
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := FromNames("a", "b", "c")
+	p, err := s.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Col(0).Name != "c" || p.Col(1).Name != "a" {
+		t.Errorf("Project gave %v", p.Names())
+	}
+	if _, err := s.Project("nope"); err == nil {
+		t.Error("projecting missing column must fail")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	s := FromNames("a")
+	a, err := s.Append(Column{Name: "b", Type: value.KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 || a.Col(1).Name != "b" {
+		t.Error("append failed")
+	}
+	if _, err := s.Append(Column{Name: "A"}); err == nil {
+		t.Error("appending duplicate must fail")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(Column{Name: "x", Type: value.KindInt})
+	b := New(Column{Name: "X", Type: value.KindInt})
+	c := New(Column{Name: "x", Type: value.KindFloat})
+	if !a.Equal(b) {
+		t.Error("case-insensitive equal failed")
+	}
+	if a.Equal(c) {
+		t.Error("different types must not be equal")
+	}
+	if a.Equal(FromNames("x", "y")) {
+		t.Error("different lengths must not be equal")
+	}
+}
+
+func TestOuterUnionOrderFavorsPreferredSchema(t *testing.T) {
+	s1 := FromNames("Name", "Age")
+	s2 := FromNames("Phone", "Name", "City")
+	u := OuterUnion(s1, s2)
+	want := []string{"Name", "Age", "Phone", "City"}
+	got := u.Names()
+	if len(got) != len(want) {
+		t.Fatalf("union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("union[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOuterUnionTypeUnification(t *testing.T) {
+	s1 := New(Column{Name: "v", Type: value.KindInt})
+	s2 := New(Column{Name: "v", Type: value.KindFloat})
+	s3 := New(Column{Name: "v", Type: value.KindString})
+	if got := OuterUnion(s1, s2).Col(0).Type; got != value.KindFloat {
+		t.Errorf("int∪float = %v, want FLOAT", got)
+	}
+	if got := OuterUnion(s1, s3).Col(0).Type; got != value.KindNull {
+		t.Errorf("int∪string = %v, want NULL (dynamic)", got)
+	}
+	if got := OuterUnion(s1, s1).Col(0).Type; got != value.KindInt {
+		t.Errorf("int∪int = %v, want INT", got)
+	}
+}
+
+func TestAlignmentOf(t *testing.T) {
+	super := FromNames("a", "b", "c")
+	sub := FromNames("c", "a")
+	align := AlignmentOf(super, sub)
+	want := []int{1, -1, 0}
+	for i := range want {
+		if align[i] != want[i] {
+			t.Errorf("align[%d] = %d, want %d", i, align[i], want[i])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := New(Column{Name: "a", Type: value.KindInt}, Column{Name: "b"})
+	if got := s.String(); got != "(a INT, b)" {
+		t.Errorf("String() = %q", got)
+	}
+}

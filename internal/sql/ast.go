@@ -1,0 +1,182 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"hummer/internal/expr"
+)
+
+// ResolveSpec is a RESOLVE(col, function) clause: the conflict-
+// resolution function name plus its optional argument, e.g.
+// RESOLVE(Price, choose('shopB')) or RESOLVE(Age, max).
+type ResolveSpec struct {
+	Func string
+	Arg  string
+}
+
+// SelectItem is one entry of the SELECT list.
+type SelectItem struct {
+	// Star marks the * wildcard ("replaced by all attributes present
+	// in the sources", paper §2.1).
+	Star bool
+	// Col is the column reference (empty for Star).
+	Col string
+	// Expr is a computed scalar expression (e.g. Price * 2); nil for
+	// plain column references. Only valid in plain SELECT statements.
+	Expr expr.Expr
+	// Resolve carries the conflict-resolution function when the item
+	// is a RESOLVE(...) clause.
+	Resolve *ResolveSpec
+	// Agg names a plain SQL aggregate (count/sum/min/max/avg) when
+	// the item is agg(col) in a GROUP BY query. Col holds the
+	// argument, "*" for count(*).
+	Agg string
+	// Alias is the output name (AS alias), empty for the default.
+	Alias string
+}
+
+// OutName returns the output column name of the item.
+func (it SelectItem) OutName() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg != "" {
+		return strings.ToLower(it.Agg) + "_" + strings.ToLower(strings.TrimPrefix(it.Col, "*"))
+	}
+	if it.Expr != nil {
+		return it.Expr.String()
+	}
+	return it.Col
+}
+
+// TableRef names one input table (a metadata-repository alias).
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// JoinClause is an explicit JOIN ... ON a = b between two FROM tables.
+type JoinClause struct {
+	Table    TableRef
+	LeftCol  string
+	RightCol string
+}
+
+// Stmt is a parsed SELECT or FUSE BY statement.
+type Stmt struct {
+	// Items is the select list.
+	Items []SelectItem
+	// Distinct marks SELECT DISTINCT.
+	Distinct bool
+	// Tables are the FROM / FUSE FROM inputs.
+	Tables []TableRef
+	// Joins are explicit JOIN clauses following the first table.
+	Joins []JoinClause
+	// FuseFrom is true for FUSE FROM (outer union instead of cross
+	// product, paper §2.1).
+	FuseFrom bool
+	// Where is the predicate, nil when absent.
+	Where expr.Expr
+	// FuseBy lists the object-identifier attributes; non-empty only
+	// for Fuse By statements.
+	FuseBy []string
+	// GroupBy lists plain SQL grouping attributes.
+	GroupBy []string
+	// Having is the post-grouping predicate, nil when absent.
+	Having expr.Expr
+	// OrderBy lists sort keys.
+	OrderBy []OrderKey
+	// Limit caps the result; negative means no limit.
+	Limit int
+}
+
+// IsFusion reports whether the statement uses the Fuse By extension.
+func (s *Stmt) IsFusion() bool { return s.FuseFrom || len(s.FuseBy) > 0 }
+
+// String renders the statement back to SQL (normalized).
+func (s *Stmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			b.WriteString("*")
+		case it.Resolve != nil:
+			fmt.Fprintf(&b, "RESOLVE(%s", it.Col)
+			if it.Resolve.Func != "" {
+				fmt.Fprintf(&b, ", %s", it.Resolve.Func)
+				if it.Resolve.Arg != "" {
+					fmt.Fprintf(&b, "('%s')", it.Resolve.Arg)
+				}
+			}
+			b.WriteString(")")
+		case it.Agg != "":
+			fmt.Fprintf(&b, "%s(%s)", it.Agg, it.Col)
+		case it.Expr != nil:
+			b.WriteString(it.Expr.String())
+		default:
+			b.WriteString(it.Col)
+		}
+		if it.Alias != "" {
+			fmt.Fprintf(&b, " AS %s", it.Alias)
+		}
+	}
+	if s.FuseFrom {
+		b.WriteString(" FUSE FROM ")
+	} else {
+		b.WriteString(" FROM ")
+	}
+	for i, t := range s.Tables {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			fmt.Fprintf(&b, " AS %s", t.Alias)
+		}
+	}
+	for _, j := range s.Joins {
+		fmt.Fprintf(&b, " JOIN %s ON %s = %s", j.Table.Name, j.LeftCol, j.RightCol)
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", s.Where)
+	}
+	if len(s.FuseBy) > 0 {
+		fmt.Fprintf(&b, " FUSE BY (%s)", strings.Join(s.FuseBy, ", "))
+	}
+	if len(s.GroupBy) > 0 {
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(s.GroupBy, ", "))
+	}
+	if s.Having != nil {
+		fmt.Fprintf(&b, " HAVING %s", s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.Col)
+			if k.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+// Package sql implements HumMer's query language: the subset of SQL
+// the paper describes (select-project-join with sorting, grouping and
+// aggregation) plus the FUSE BY extension of Fig. 1:
+//
+//	SELECT  colref | RESOLVE(colref [, function[(arg)]]) | *  [, ...]
+//	FUSE FROM  tableref [, tableref ...]        -- outer union
+//	[WHERE predicate]
+//	FUSE BY (colref [, colref ...])
+//	[HAVING predicate] [ORDER BY colref [ASC|DESC], ...] [LIMIT n]
+//
+// Plain FROM gives ordinary SQL semantics (cross product + WHERE).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol
+)
+
+func (k TokenKind) String() string {
+	return [...]string{"EOF", "identifier", "keyword", "number", "string", "symbol"}[k]
+}
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	// Text is the raw token text; keywords are upper-cased.
+	Text string
+	// Pos is the byte offset in the input, for error messages.
+	Pos int
+}
+
+// keywords recognized by the lexer (case-insensitive in input).
+var keywords = map[string]bool{
+	"SELECT": true, "RESOLVE": true, "FUSE": true, "FROM": true,
+	"BY": true, "WHERE": true, "GROUP": true, "HAVING": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "IS": true, "NULL": true,
+	"LIKE": true, "IN": true, "AS": true, "ON": true, "JOIN": true,
+	"TRUE": true, "FALSE": true, "DISTINCT": true,
+}
+
+// Lex tokenizes a query string. It returns an error for unterminated
+// strings or illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'': // string literal, '' escapes a quote
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokString, Text: b.String(), Pos: start})
+		case c >= '0' && c <= '9':
+			start := i
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: input[start:i], Pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n {
+				r := rune(input[i])
+				if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+					i++
+				} else {
+					break
+				}
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{Kind: TokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, Token{Kind: TokIdent, Text: word, Pos: start})
+			}
+		case c == '"': // quoted identifier
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '"' {
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: b.String(), Pos: start})
+		case strings.ContainsRune("(),*=.", c):
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, Token{Kind: TokSymbol, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, Token{Kind: TokSymbol, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, Token{Kind: TokSymbol, Text: "<>", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		case c == '+' || c == '-' || c == '/':
+			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: illegal character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	return toks, nil
+}

@@ -1,0 +1,670 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hummer/internal/expr"
+	"hummer/internal/value"
+)
+
+// Parse parses one SELECT / FUSE BY statement.
+func Parse(input string) (*Stmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.cur().Text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token has the given kind and,
+// when text is non-empty, the given text.
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.advance(), nil
+	}
+	want := text
+	if want == "" {
+		want = kind.String()
+	}
+	return Token{}, p.errorf("expected %s, found %q", want, p.cur().Text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// aggNames are the plain SQL aggregates the select list recognizes.
+var aggNames = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) parseStmt() (*Stmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &Stmt{Limit: -1}
+	stmt.Distinct = p.accept(TokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	// FROM or FUSE FROM.
+	switch {
+	case p.accept(TokKeyword, "FROM"):
+	case p.at(TokKeyword, "FUSE") && p.peek().Kind == TokKeyword && p.peek().Text == "FROM":
+		p.advance()
+		p.advance()
+		stmt.FuseFrom = true
+	default:
+		return nil, p.errorf("expected FROM or FUSE FROM, found %q", p.cur().Text)
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Tables = append(stmt.Tables, ref)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	for p.accept(TokKeyword, "JOIN") {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		right, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: ref, LeftCol: left, RightCol: right})
+	}
+
+	if p.accept(TokKeyword, "WHERE") {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = pred
+	}
+
+	// FUSE BY (col, ...).
+	if p.at(TokKeyword, "FUSE") {
+		p.advance()
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.FuseBy = append(stmt.FuseBy, col)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.at(TokKeyword, "GROUP") {
+		p.advance()
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(TokKeyword, "HAVING") {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = pred
+	}
+
+	if p.at(TokKeyword, "ORDER") {
+		p.advance()
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: col}
+			if p.accept(TokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.at(TokKeyword, "RESOLVE") {
+		return p.parseResolveItem()
+	}
+	// Aggregate call?
+	if p.cur().Kind == TokIdent && aggNames[strings.ToLower(p.cur().Text)] &&
+		p.peek().Kind == TokSymbol && p.peek().Text == "(" {
+		agg := strings.ToLower(p.advance().Text)
+		p.advance() // (
+		var col string
+		if p.accept(TokSymbol, "*") {
+			col = "*"
+		} else {
+			c, err := p.parseColRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			col = c
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Col: col, Agg: agg}
+		alias, err := p.parseAlias()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+		return item, nil
+	}
+	e, err := p.parseOperand()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	var item SelectItem
+	if col, ok := e.(*expr.Col); ok {
+		item = SelectItem{Col: col.Name}
+	} else {
+		item = SelectItem{Expr: e}
+	}
+	alias, err := p.parseAlias()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item.Alias = alias
+	return item, nil
+}
+
+func (p *parser) parseResolveItem() (SelectItem, error) {
+	p.advance() // RESOLVE
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return SelectItem{}, err
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	spec := &ResolveSpec{}
+	if p.accept(TokSymbol, ",") {
+		// function name; keywords like MIN/MAX are plain idents here.
+		t := p.cur()
+		if t.Kind != TokIdent && t.Kind != TokKeyword {
+			return SelectItem{}, p.errorf("expected resolution function name, found %q", t.Text)
+		}
+		p.advance()
+		spec.Func = strings.ToLower(t.Text)
+		// Optional argument: fn('literal') or fn(ident) or fn(number).
+		if p.accept(TokSymbol, "(") {
+			arg := p.cur()
+			switch arg.Kind {
+			case TokString, TokIdent, TokNumber:
+				p.advance()
+				spec.Arg = arg.Text
+			case TokKeyword:
+				p.advance()
+				spec.Arg = strings.ToLower(arg.Text)
+			default:
+				return SelectItem{}, p.errorf("expected function argument, found %q", arg.Text)
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return SelectItem{}, err
+			}
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Col: col, Resolve: spec}
+	alias, err := p.parseAlias()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item.Alias = alias
+	return item, nil
+}
+
+func (p *parser) parseAlias() (string, error) {
+	if p.accept(TokKeyword, "AS") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		return t.Text, nil
+	}
+	return "", nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: t.Text}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.expect(TokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a.Text
+	} else if p.cur().Kind == TokIdent {
+		ref.Alias = p.advance().Text
+	}
+	return ref, nil
+}
+
+// parseColRef parses ident or ident.ident (qualified), returning the
+// textual reference.
+func (p *parser) parseColRef() (string, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	name := t.Text
+	if p.accept(TokSymbol, ".") {
+		t2, err := p.expect(TokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		name = name + "." + t2.Text
+	}
+	return name, nil
+}
+
+// --- Predicates ----------------------------------------------------------
+
+func (p *parser) parsePredicate() (expr.Expr, error) {
+	return p.parseOr()
+}
+
+func (p *parser) parseOr() (expr.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.NewOr(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (expr.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.NewAnd(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (expr.Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(inner), nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison parses operand [cmp operand | IS [NOT] NULL |
+// [NOT] LIKE 'pat' | [NOT] IN (...)] or a parenthesized predicate.
+func (p *parser) parseComparison() (expr.Expr, error) {
+	// A '(' here could open a nested predicate or an arithmetic
+	// grouping; we try the predicate first and fall back.
+	if p.at(TokSymbol, "(") {
+		save := p.pos
+		p.advance()
+		pred, err := p.parsePredicate()
+		if err == nil {
+			if _, err2 := p.expect(TokSymbol, ")"); err2 == nil {
+				// Parenthesized predicate only if neither a comparison
+				// nor arithmetic follows (otherwise it was a grouping
+				// inside an operand).
+				if !p.atCmpOp() && !p.atArithOp() {
+					return pred, nil
+				}
+			}
+		}
+		p.pos = save
+	}
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(TokKeyword, "IS") {
+		neg := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(left, neg), nil
+	}
+	// [NOT] LIKE / IN
+	neg := false
+	if p.at(TokKeyword, "NOT") && p.peek().Kind == TokKeyword &&
+		(p.peek().Text == "LIKE" || p.peek().Text == "IN") {
+		p.advance()
+		neg = true
+	}
+	if p.accept(TokKeyword, "LIKE") {
+		t, err := p.expect(TokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewLike(left, t.Text, neg), nil
+	}
+	if p.accept(TokKeyword, "IN") {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []value.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, v)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return expr.NewIn(left, list, neg), nil
+	}
+	// Comparison operator.
+	if op, ok := p.cmpOp(); ok {
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCmp(op, left, right), nil
+	}
+	return left, nil
+}
+
+func (p *parser) atArithOp() bool {
+	if p.cur().Kind != TokSymbol {
+		return false
+	}
+	switch p.cur().Text {
+	case "+", "-", "*", "/":
+		return true
+	}
+	return false
+}
+
+func (p *parser) atCmpOp() bool {
+	if p.cur().Kind != TokSymbol {
+		return false
+	}
+	switch p.cur().Text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) cmpOp() (expr.CmpOp, bool) {
+	if p.cur().Kind != TokSymbol {
+		return 0, false
+	}
+	var op expr.CmpOp
+	switch p.cur().Text {
+	case "=":
+		op = expr.EQ
+	case "<>":
+		op = expr.NE
+	case "<":
+		op = expr.LT
+	case "<=":
+		op = expr.LE
+	case ">":
+		op = expr.GT
+	case ">=":
+		op = expr.GE
+	default:
+		return 0, false
+	}
+	p.advance()
+	return op, true
+}
+
+// parseOperand parses additive arithmetic.
+func (p *parser) parseOperand() (expr.Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.ArithOp
+		switch {
+		case p.at(TokSymbol, "+"):
+			op = expr.Add
+		case p.at(TokSymbol, "-"):
+			op = expr.Sub
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.NewArith(op, left, right)
+	}
+}
+
+func (p *parser) parseTerm() (expr.Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op expr.ArithOp
+		switch {
+		case p.at(TokSymbol, "*"):
+			op = expr.Mul
+		case p.at(TokSymbol, "/"):
+			op = expr.Div
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.NewArith(op, left, right)
+	}
+}
+
+func (p *parser) parseFactor() (expr.Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber, t.Kind == TokString,
+		t.Kind == TokKeyword && (t.Text == "NULL" || t.Text == "TRUE" || t.Text == "FALSE"):
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewLit(v), nil
+	case t.Kind == TokSymbol && t.Text == "-":
+		p.advance()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewArith(expr.Sub, expr.NewLit(value.NewInt(0)), inner), nil
+	case t.Kind == TokSymbol && t.Text == "(":
+		p.advance()
+		inner, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case t.Kind == TokIdent:
+		name, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCol(name), nil
+	default:
+		return nil, p.errorf("expected operand, found %q", t.Text)
+	}
+}
+
+func (p *parser) parseLiteral() (value.Value, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if i, err := strconv.ParseInt(t.Text, 10, 64); err == nil {
+			return value.NewInt(i), nil
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return value.Null, p.errorf("invalid number %q", t.Text)
+		}
+		return value.NewFloat(f), nil
+	case TokString:
+		p.advance()
+		return value.NewString(t.Text), nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return value.Null, nil
+		case "TRUE":
+			p.advance()
+			return value.NewBool(true), nil
+		case "FALSE":
+			p.advance()
+			return value.NewBool(false), nil
+		}
+	}
+	return value.Null, p.errorf("expected literal, found %q", t.Text)
+}

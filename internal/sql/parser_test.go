@@ -1,0 +1,305 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *Stmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return stmt
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The exact statement from §2.1 of the paper.
+	stmt := mustParse(t, `
+		SELECT Name, RESOLVE(Age, max)
+		FUSE FROM EE_Student, CS_Students
+		FUSE BY (Name)`)
+	if !stmt.FuseFrom {
+		t.Error("FUSE FROM not recognized")
+	}
+	if len(stmt.Tables) != 2 || stmt.Tables[0].Name != "EE_Student" || stmt.Tables[1].Name != "CS_Students" {
+		t.Errorf("tables = %v", stmt.Tables)
+	}
+	if len(stmt.FuseBy) != 1 || stmt.FuseBy[0] != "Name" {
+		t.Errorf("FuseBy = %v", stmt.FuseBy)
+	}
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %v", stmt.Items)
+	}
+	if stmt.Items[0].Col != "Name" || stmt.Items[0].Resolve != nil {
+		t.Errorf("item 0 = %+v", stmt.Items[0])
+	}
+	it := stmt.Items[1]
+	if it.Col != "Age" || it.Resolve == nil || it.Resolve.Func != "max" {
+		t.Errorf("item 1 = %+v, resolve = %+v", it, it.Resolve)
+	}
+	if !stmt.IsFusion() {
+		t.Error("IsFusion must be true")
+	}
+}
+
+func TestParseStarDefault(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FUSE FROM a, b FUSE BY (id)")
+	if len(stmt.Items) != 1 || !stmt.Items[0].Star {
+		t.Errorf("items = %v", stmt.Items)
+	}
+}
+
+func TestParseResolveVariants(t *testing.T) {
+	// RESOLVE(col) without function — default resolution.
+	stmt := mustParse(t, "SELECT RESOLVE(City) FUSE FROM a FUSE BY (id)")
+	if stmt.Items[0].Resolve == nil || stmt.Items[0].Resolve.Func != "" {
+		t.Errorf("RESOLVE(col) = %+v", stmt.Items[0].Resolve)
+	}
+	// RESOLVE(col, fn(arg)) with string argument.
+	stmt = mustParse(t, "SELECT RESOLVE(Price, choose('shopB')) FUSE FROM a FUSE BY (id)")
+	r := stmt.Items[0].Resolve
+	if r.Func != "choose" || r.Arg != "shopB" {
+		t.Errorf("resolve = %+v", r)
+	}
+	// RESOLVE(col, fn(ident)) with column argument (MostRecent).
+	stmt = mustParse(t, "SELECT RESOLVE(Price, mostrecent(updated)) FUSE FROM a FUSE BY (id)")
+	r = stmt.Items[0].Resolve
+	if r.Func != "mostrecent" || r.Arg != "updated" {
+		t.Errorf("resolve = %+v", r)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT Name AS who, RESOLVE(Age, max) AS oldest FROM t")
+	if stmt.Items[0].Alias != "who" || stmt.Items[1].Alias != "oldest" {
+		t.Errorf("aliases = %q, %q", stmt.Items[0].Alias, stmt.Items[1].Alias)
+	}
+	if stmt.Items[0].OutName() != "who" {
+		t.Errorf("OutName = %q", stmt.Items[0].OutName())
+	}
+}
+
+func TestParseWhereHavingOrderLimit(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT Name, RESOLVE(Age)
+		FUSE FROM s1, s2
+		WHERE Age > 18 AND City LIKE 'Ber%'
+		FUSE BY (Name)
+		HAVING Age < 99
+		ORDER BY Name DESC, Age
+		LIMIT 10`)
+	if stmt.Where == nil || stmt.Having == nil {
+		t.Fatal("where/having missing")
+	}
+	if len(stmt.OrderBy) != 2 || !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc {
+		t.Errorf("order = %v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+	want := "(Age > 18 AND City LIKE 'Ber%')"
+	if got := stmt.Where.String(); got != want {
+		t.Errorf("where = %q, want %q", got, want)
+	}
+}
+
+func TestParsePlainSQL(t *testing.T) {
+	stmt := mustParse(t, "SELECT City, count(*) AS n FROM people WHERE Age IS NOT NULL GROUP BY City ORDER BY n DESC")
+	if stmt.IsFusion() {
+		t.Error("plain SQL must not be fusion")
+	}
+	if stmt.Items[1].Agg != "count" || stmt.Items[1].Col != "*" {
+		t.Errorf("agg item = %+v", stmt.Items[1])
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0] != "City" {
+		t.Errorf("group by = %v", stmt.GroupBy)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	stmt := mustParse(t, "SELECT name FROM orders JOIN custs ON cust = name WHERE qty > 1")
+	if len(stmt.Joins) != 1 {
+		t.Fatalf("joins = %v", stmt.Joins)
+	}
+	j := stmt.Joins[0]
+	if j.Table.Name != "custs" || j.LeftCol != "cust" || j.RightCol != "name" {
+		t.Errorf("join = %+v", j)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	stmt := mustParse(t, "SELECT DISTINCT City FROM people")
+	if !stmt.Distinct {
+		t.Error("DISTINCT not recognized")
+	}
+}
+
+func TestParsePredicateForms(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t WHERE a = 1",
+		"SELECT a FROM t WHERE a <> 'x'",
+		"SELECT a FROM t WHERE a <= 1.5 OR b >= 2",
+		"SELECT a FROM t WHERE NOT (a = 1)",
+		"SELECT a FROM t WHERE a IS NULL",
+		"SELECT a FROM t WHERE a IS NOT NULL",
+		"SELECT a FROM t WHERE a LIKE '%x%'",
+		"SELECT a FROM t WHERE a NOT LIKE 'y_'",
+		"SELECT a FROM t WHERE a IN (1, 2, 3)",
+		"SELECT a FROM t WHERE a NOT IN ('p', 'q')",
+		"SELECT a FROM t WHERE a + b * 2 > c - 1",
+		"SELECT a FROM t WHERE (a = 1 AND b = 2) OR c = 3",
+		"SELECT a FROM t WHERE (a + 1) * 2 = 4",
+		"SELECT a FROM t WHERE a = -5",
+		"SELECT a FROM t WHERE a = TRUE AND b = FALSE",
+		"SELECT a FROM t WHERE a = NULL",
+	}
+	for _, q := range queries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v", q, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	queries := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT",
+		"SELECT RESOLVE FROM t",
+		"SELECT RESOLVE( FROM t",
+		"SELECT RESOLVE(a FROM t",
+		"SELECT a FROM t FUSE BY a",     // missing parens
+		"SELECT a FROM t FUSE BY (a",    // unclosed
+		"SELECT a FROM t WHERE a LIKE b", // LIKE needs a string
+		"SELECT a FROM t trailing junk ,",
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t JOIN x ON a",
+		"SELECT a FROM t WHERE 'unterminated",
+	}
+	for _, q := range queries {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestParseQuotedIdentifier(t *testing.T) {
+	stmt := mustParse(t, `SELECT "Full Name" FROM t`)
+	if stmt.Items[0].Col != "Full Name" {
+		t.Errorf("quoted ident = %q", stmt.Items[0].Col)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE a = 'it''s'`)
+	if !strings.Contains(stmt.Where.String(), "it''s") {
+		t.Errorf("where = %s", stmt.Where)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Parse → String → Parse must be stable.
+	queries := []string{
+		"SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name)",
+		"SELECT * FROM t WHERE a > 1 ORDER BY a LIMIT 5",
+		"SELECT RESOLVE(Price, choose('shopB')) AS p FUSE FROM a, b FUSE BY (id)",
+		"SELECT City, count(*) FROM t GROUP BY City HAVING City <> 'x'",
+	}
+	for _, q := range queries {
+		s1 := mustParse(t, q)
+		s2 := mustParse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("round trip diverged:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := Lex("SELECT a, b FROM t WHERE x <= 1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokSymbol, TokIdent, TokKeyword,
+		TokIdent, TokKeyword, TokIdent, TokSymbol, TokNumber, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, in := range []string{"'unterminated", `"unterminated`, "a ; b", "a ! b"} {
+		if _, err := Lex(in); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestLexerBangEquals(t *testing.T) {
+	toks, err := Lex("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != "<>" {
+		t.Errorf("!= must normalize to <>, got %q", toks[1].Text)
+	}
+}
+
+// TestFig1GrammarCoverage exercises every production of the paper's
+// Fig. 1 syntax diagram (experiment E1).
+func TestFig1GrammarCoverage(t *testing.T) {
+	productions := map[string]string{
+		"bare colref":              "SELECT Name FUSE FROM a FUSE BY (Name)",
+		"resolve without function": "SELECT RESOLVE(Age) FUSE FROM a FUSE BY (Name)",
+		"resolve with function":    "SELECT RESOLVE(Age, max) FUSE FROM a FUSE BY (Name)",
+		"star":                     "SELECT * FUSE FROM a FUSE BY (Name)",
+		"mixed select list":        "SELECT Name, RESOLVE(Age, max), * FUSE FROM a FUSE BY (Name)",
+		"multiple tables":          "SELECT * FUSE FROM a, b, c FUSE BY (Name)",
+		"where clause":             "SELECT * FUSE FROM a, b WHERE Age > 1 FUSE BY (Name)",
+		"multi-attribute fuse by":  "SELECT * FUSE FROM a, b FUSE BY (Name, City)",
+		"having keeps meaning":     "SELECT * FUSE FROM a FUSE BY (Name) HAVING Age > 1",
+		"order by keeps meaning":   "SELECT * FUSE FROM a FUSE BY (Name) ORDER BY Name",
+	}
+	for label, q := range productions {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Errorf("%s: %v", label, err)
+			continue
+		}
+		if !stmt.IsFusion() {
+			t.Errorf("%s: not recognized as fusion statement", label)
+		}
+	}
+}
+
+func TestParseExpressionSelectItems(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + 1 AS next, b * 2, c FROM t")
+	if stmt.Items[0].Expr == nil || stmt.Items[0].OutName() != "next" {
+		t.Errorf("item 0 = %+v", stmt.Items[0])
+	}
+	if stmt.Items[1].Expr == nil || stmt.Items[1].OutName() != "(b * 2)" {
+		t.Errorf("item 1 OutName = %q", stmt.Items[1].OutName())
+	}
+	if stmt.Items[2].Expr != nil || stmt.Items[2].Col != "c" {
+		t.Errorf("bare column must stay a Col item: %+v", stmt.Items[2])
+	}
+}
+
+func TestParseExpressionRoundTrip(t *testing.T) {
+	s1 := mustParse(t, "SELECT a + 1 AS next FROM t")
+	s2 := mustParse(t, s1.String())
+	if s1.String() != s2.String() {
+		t.Errorf("round trip diverged: %s vs %s", s1, s2)
+	}
+}

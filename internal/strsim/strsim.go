@@ -1,0 +1,381 @@
+// Package strsim implements the string similarity measures HumMer's
+// matching components rely on: Levenshtein edit distance, Jaro and
+// Jaro-Winkler, token-based TFIDF cosine similarity with corpus
+// statistics, and the hybrid SoftTFIDF measure of Cohen, Ravikumar and
+// Fienberg (IIWeb 2003) used by DUMAS for field-wise comparison.
+//
+// All similarities are normalized to [0,1], 1 meaning identical.
+package strsim
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b (unit costs,
+// runes as symbols).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim is the normalized edit similarity:
+// 1 - dist/max(len(a), len(b)); two empty strings are identical.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := len(ra)
+	if len(rb) > window {
+		window = len(rb)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(ra))
+	matchB := make([]bool, len(rb))
+	matches := 0
+	for i, c := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && rb[j] == c {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a prefix, with
+// the standard scaling factor p=0.1 and max prefix 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// Tokenize splits s into lower-cased tokens at any non-alphanumeric
+// boundary. It is the shared tokenizer for all token-based measures.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// QGrams returns the padded q-grams of s (lower-cased), q >= 1.
+// Padding with q-1 '#' characters on both ends weights affixes, the
+// standard construction for q-gram distance.
+func QGrams(s string, q int) []string {
+	if q < 1 {
+		q = 1
+	}
+	pad := strings.Repeat("#", q-1)
+	padded := []rune(pad + strings.ToLower(s) + pad)
+	if len(padded) < q {
+		return nil
+	}
+	grams := make([]string, 0, len(padded)-q+1)
+	for i := 0; i+q <= len(padded); i++ {
+		grams = append(grams, string(padded[i:i+q]))
+	}
+	return grams
+}
+
+// QGramSim is the Dice coefficient over q-gram multisets.
+func QGramSim(a, b string, q int) float64 {
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	count := map[string]int{}
+	for _, g := range ga {
+		count[g]++
+	}
+	common := 0
+	for _, g := range gb {
+		if count[g] > 0 {
+			count[g]--
+			common++
+		}
+	}
+	return 2 * float64(common) / float64(len(ga)+len(gb))
+}
+
+// NumericSim compares two numbers: 1 when equal, decaying with the
+// relative difference |a-b| / max(|a|,|b|). Two zeros are identical.
+func NumericSim(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 1
+	}
+	d := math.Abs(a-b) / m
+	if d > 1 {
+		return 0
+	}
+	return 1 - d
+}
+
+// --- Corpus / TFIDF ----------------------------------------------------
+
+// Corpus accumulates document frequencies over a collection of token
+// documents, providing IDF weights for TFIDF and SoftTFIDF. A
+// "document" is whatever unit the caller chooses: a whole tuple for
+// DUMAS duplicate search, a column's values for identifying-power
+// estimation.
+type Corpus struct {
+	docs int
+	df   map[string]int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{df: make(map[string]int)}
+}
+
+// AddDoc records one document's tokens (document frequency counts each
+// token once per document).
+func (c *Corpus) AddDoc(tokens []string) {
+	c.docs++
+	seen := map[string]bool{}
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			c.df[t]++
+		}
+	}
+}
+
+// AddText tokenizes s and records it as one document.
+func (c *Corpus) AddText(s string) { c.AddDoc(Tokenize(s)) }
+
+// Docs returns the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of token t:
+// log(1 + N/df). Unknown tokens receive the maximum weight
+// log(1 + N), i.e. df treated as 1.
+func (c *Corpus) IDF(t string) float64 {
+	df := c.df[t]
+	if df < 1 {
+		df = 1
+	}
+	return math.Log(1 + float64(c.docs)/float64(df))
+}
+
+// SoftIDF is a dampened identifying-power weight in [0,1]:
+// IDF normalized by the maximum possible IDF of the corpus. Used by
+// duplicate detection to weight attribute values ("soft version of
+// IDF" in the paper, §2.3).
+func (c *Corpus) SoftIDF(t string) float64 {
+	if c.docs == 0 {
+		return 1
+	}
+	maxIDF := math.Log(1 + float64(c.docs))
+	if maxIDF == 0 {
+		return 1
+	}
+	return c.IDF(t) / maxIDF
+}
+
+// Vector is a sparse TFIDF-weighted token vector, L2-normalized.
+type Vector map[string]float64
+
+// TFIDFVector builds the normalized TFIDF vector of tokens under
+// corpus c. Term frequency is log-scaled (1 + log tf).
+func (c *Corpus) TFIDFVector(tokens []string) Vector {
+	tf := map[string]int{}
+	for _, t := range tokens {
+		tf[t]++
+	}
+	v := make(Vector, len(tf))
+	var norm float64
+	for t, n := range tf {
+		w := (1 + math.Log(float64(n))) * c.IDF(t)
+		v[t] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for t := range v {
+			v[t] /= norm
+		}
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two normalized vectors.
+func Cosine(a, b Vector) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for t, w := range a {
+		dot += w * b[t]
+	}
+	if dot > 1 { // guard against rounding
+		dot = 1
+	}
+	return dot
+}
+
+// TFIDF computes the TFIDF cosine similarity of two texts under
+// corpus c.
+func (c *Corpus) TFIDF(a, b string) float64 {
+	return Cosine(c.TFIDFVector(Tokenize(a)), c.TFIDFVector(Tokenize(b)))
+}
+
+// --- SoftTFIDF ----------------------------------------------------------
+
+// SoftTFIDFThreshold is the inner-similarity threshold θ of Cohen et
+// al.: tokens with JaroWinkler ≥ θ are considered soft matches.
+const SoftTFIDFThreshold = 0.9
+
+// SoftTFIDF computes the hybrid SoftTFIDF similarity of a and b:
+// TFIDF cosine where tokens of a may match CLOSE(θ) tokens of b under
+// Jaro-Winkler, each contribution scaled by the inner similarity.
+func (c *Corpus) SoftTFIDF(a, b string) float64 {
+	return c.SoftTFIDFTokens(Tokenize(a), Tokenize(b))
+}
+
+// SoftTFIDFTokens is SoftTFIDF over pre-tokenized inputs.
+func (c *Corpus) SoftTFIDFTokens(ta, tb []string) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	va := c.TFIDFVector(ta)
+	vb := c.TFIDFVector(tb)
+	var sim float64
+	for t, wa := range va {
+		// Find the closest token in b.
+		best, bestSim := "", 0.0
+		for u := range vb {
+			s := innerSim(t, u)
+			if s > bestSim {
+				best, bestSim = u, s
+			}
+		}
+		if bestSim >= SoftTFIDFThreshold {
+			sim += wa * vb[best] * bestSim
+		}
+	}
+	if sim > 1 {
+		sim = 1
+	}
+	return sim
+}
+
+// innerSim is the secondary measure of SoftTFIDF: exact matches score
+// 1 directly (fast path), otherwise Jaro-Winkler.
+func innerSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return JaroWinkler(a, b)
+}

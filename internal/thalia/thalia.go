@@ -1,0 +1,379 @@
+// Package thalia reproduces the THALIA benchmark (Hammer, Stonebraker,
+// Topsakal — ICDE 2005) in synthetic relational form: university
+// course catalogs exhibiting the benchmark's twelve classes of
+// syntactic and semantic heterogeneity. The demo paper planned to show
+// THALIA examples; experiment E10 measures which classes HumMer's
+// instance-based matching bridges automatically.
+//
+// Each variant pairs a heterogeneous catalog with the ground-truth
+// attribute correspondences a perfect matcher would find (canonical
+// attribute → variant attribute). Classes whose heterogeneity is not
+// expressible as a 1:1 attribute correspondence (complex mappings,
+// virtual columns) have partial truth maps — detecting *that* is part
+// of the experiment.
+package thalia
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hummer/internal/relation"
+	"hummer/internal/schema"
+	"hummer/internal/value"
+)
+
+// Class describes one THALIA heterogeneity class.
+type Class struct {
+	// ID is the benchmark query number, 1-12.
+	ID int
+	// Name is the benchmark's label for the class.
+	Name string
+	// Description explains the heterogeneity.
+	Description string
+}
+
+// Classes lists the twelve THALIA heterogeneity classes.
+func Classes() []Class {
+	return []Class{
+		{1, "Synonyms", "attributes carry synonymous names (Instructor vs Lecturer)"},
+		{2, "Simple mapping", "values differ by an arithmetic transformation (credits doubled, ECTS)"},
+		{3, "Union types", "values drawn from differently formatted domains (room codes)"},
+		{4, "Complex mapping", "one attribute combines several canonical ones (Code+Title)"},
+		{5, "Language expression", "values expressed in a different language"},
+		{6, "Nulls", "values frequently missing"},
+		{7, "Virtual columns", "an attribute only present implicitly inside another"},
+		{8, "Semantic incompatibility", "same attribute name, different meaning (credits vs hours/week)"},
+		{9, "Same attribute, different structure", "one attribute split over several columns (time→day+hour)"},
+		{10, "Handling sets", "set-valued data flattened differently (instructor lists)"},
+		{11, "Opaque names", "attribute names carry no semantics (col1, col2, ...)"},
+		{12, "Attribute composition", "composite attribute split (name→first+last)"},
+	}
+}
+
+// CanonicalAttributes are the canonical catalog's columns.
+var CanonicalAttributes = []string{
+	"Code", "Title", "Instructor", "Credits", "Room", "Time", "Department",
+}
+
+var (
+	subjects = []string{
+		"Databases", "Algorithms", "Networks", "Compilers", "Graphics",
+		"Logic", "Statistics", "Cryptography", "Robotics", "Optimization",
+	}
+	subjectsDE = map[string]string{
+		"Databases": "Datenbanken", "Algorithms": "Algorithmen",
+		"Networks": "Netzwerke", "Compilers": "Uebersetzerbau",
+		"Graphics": "Computergrafik", "Logic": "Logik",
+		"Statistics": "Statistik", "Cryptography": "Kryptographie",
+		"Robotics": "Robotik", "Optimization": "Optimierung",
+	}
+	levels = []string{
+		"Introduction to", "Advanced", "Seminar on", "Topics in", "Applied",
+	}
+	levelsDE = map[string]string{
+		"Introduction to": "Einfuehrung in", "Advanced": "Fortgeschrittene",
+		"Seminar on": "Seminar ueber", "Topics in": "Themen der", "Applied": "Angewandte",
+	}
+	profFirst = []string{"Alan", "Grace", "Edsger", "Barbara", "Donald", "Ada", "John", "Frances"}
+	profLast  = []string{"Turing", "Hopper", "Dijkstra", "Liskov", "Knuth", "Lovelace", "McCarthy", "Allen"}
+	depts     = []string{"CS", "EE", "MATH", "INFO"}
+	days      = []string{"Mon", "Tue", "Wed", "Thu", "Fri"}
+)
+
+// Canonical generates the clean reference catalog with n courses.
+func Canonical(seed int64, n int) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	rel := relation.New("canonical", schema.FromNames(CanonicalAttributes...))
+	for i := 0; i < n; i++ {
+		dept := depts[rng.Intn(len(depts))]
+		level := levels[rng.Intn(len(levels))]
+		subject := subjects[rng.Intn(len(subjects))]
+		first := profFirst[rng.Intn(len(profFirst))]
+		last := profLast[rng.Intn(len(profLast))]
+		rel.MustAppend(relation.Row{
+			value.NewString(fmt.Sprintf("%s%03d", dept, 100+i)),
+			value.NewString(level + " " + subject),
+			value.NewString(first + " " + last),
+			value.NewInt(int64(2 + rng.Intn(5))), // 2..6 credits
+			value.NewString(fmt.Sprintf("%s-%d", string(rune('A'+rng.Intn(4))), 100+rng.Intn(300))),
+			value.NewString(fmt.Sprintf("%s %02d:00", days[rng.Intn(len(days))], 8+rng.Intn(10))),
+			value.NewString(dept),
+		})
+	}
+	return rel
+}
+
+// Variant holds one heterogeneous catalog plus its ground truth.
+type Variant struct {
+	Class Class
+	// Rel is the heterogeneous catalog describing the same courses.
+	Rel *relation.Relation
+	// Truth maps canonical attributes to the variant attribute that
+	// carries the same information 1:1; attributes with no 1:1 image
+	// are absent.
+	Truth map[string]string
+}
+
+// Generate builds the variant for the given class over the same seed
+// and size as the canonical catalog (row i of the variant describes
+// the same course as row i of Canonical(seed, n)).
+func Generate(classID int, seed int64, n int) (*Variant, error) {
+	canon := Canonical(seed, n)
+	cls := Classes()
+	if classID < 1 || classID > len(cls) {
+		return nil, fmt.Errorf("thalia: no class %d", classID)
+	}
+	v := &Variant{Class: cls[classID-1]}
+	rng := rand.New(rand.NewSource(seed + int64(classID)*31))
+	switch classID {
+	case 1:
+		v.Rel, v.Truth = synonyms(canon)
+	case 2:
+		v.Rel, v.Truth = simpleMapping(canon)
+	case 3:
+		v.Rel, v.Truth = unionTypes(canon)
+	case 4:
+		v.Rel, v.Truth = complexMapping(canon)
+	case 5:
+		v.Rel, v.Truth = language(canon)
+	case 6:
+		v.Rel, v.Truth = nulls(canon, rng)
+	case 7:
+		v.Rel, v.Truth = virtualColumns(canon)
+	case 8:
+		v.Rel, v.Truth = semanticIncompat(canon, rng)
+	case 9:
+		v.Rel, v.Truth = structure(canon)
+	case 10:
+		v.Rel, v.Truth = sets(canon, rng)
+	case 11:
+		v.Rel, v.Truth = opaqueNames(canon)
+	case 12:
+		v.Rel, v.Truth = composition(canon)
+	}
+	v.Rel.SetName(fmt.Sprintf("thalia_%02d", classID))
+	return v, nil
+}
+
+// rebuild constructs a relation from column names and per-row cell
+// functions over the canonical relation.
+func rebuild(canon *relation.Relation, cols []string, cell func(i int, col string) value.Value) *relation.Relation {
+	rel := relation.New("variant", schema.FromNames(cols...))
+	for i := 0; i < canon.Len(); i++ {
+		row := make(relation.Row, len(cols))
+		for j, c := range cols {
+			row[j] = cell(i, c)
+		}
+		rel.MustAppend(row)
+	}
+	return rel
+}
+
+func synonyms(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	ren := map[string]string{
+		"Code": "CourseNo", "Title": "CourseName", "Instructor": "Lecturer",
+		"Credits": "Units", "Room": "Venue", "Time": "Schedule", "Department": "Faculty",
+	}
+	cols := make([]string, len(CanonicalAttributes))
+	for i, a := range CanonicalAttributes {
+		cols[i] = ren[a]
+	}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		for canonName, varName := range ren {
+			if varName == col {
+				return canon.Value(i, canonName)
+			}
+		}
+		return value.Null
+	})
+	return rel, ren
+}
+
+func simpleMapping(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	// ECTS points = 2 × credit hours; everything else unchanged.
+	cols := []string{"Code", "Title", "Instructor", "ECTS", "Room", "Time", "Department"}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		if col == "ECTS" {
+			return value.NewInt(canon.Value(i, "Credits").Int() * 2)
+		}
+		return canon.Value(i, col)
+	})
+	truth := identityTruth("Code", "Title", "Instructor", "Room", "Time", "Department")
+	truth["Credits"] = "ECTS"
+	return rel, truth
+}
+
+func unionTypes(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	// Rooms written "Building A Room 123" instead of "A-123".
+	cols := append([]string(nil), CanonicalAttributes...)
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		if col == "Room" {
+			parts := strings.SplitN(canon.Value(i, "Room").Text(), "-", 2)
+			return value.NewString("Building " + parts[0] + " Room " + parts[1])
+		}
+		return canon.Value(i, col)
+	})
+	return rel, identityTruth(CanonicalAttributes...)
+}
+
+func complexMapping(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	// Code and Title fused into one "Course" attribute.
+	cols := []string{"Course", "Instructor", "Credits", "Room", "Time", "Department"}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		if col == "Course" {
+			return value.NewString(canon.Value(i, "Code").Text() + ": " + canon.Value(i, "Title").Text())
+		}
+		return canon.Value(i, col)
+	})
+	// Neither Code nor Title has a 1:1 image; the rest map by identity.
+	return rel, identityTruth("Instructor", "Credits", "Room", "Time", "Department")
+}
+
+func language(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	cols := []string{"Kennung", "Titel", "Dozent", "Punkte", "Raum", "Zeit", "Fakultaet"}
+	ren := map[string]string{
+		"Code": "Kennung", "Title": "Titel", "Instructor": "Dozent",
+		"Credits": "Punkte", "Room": "Raum", "Time": "Zeit", "Department": "Fakultaet",
+	}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		for canonName, varName := range ren {
+			if varName != col {
+				continue
+			}
+			v := canon.Value(i, canonName)
+			if canonName == "Title" {
+				return value.NewString(translate(v.Text()))
+			}
+			return v
+		}
+		return value.Null
+	})
+	return rel, ren
+}
+
+func translate(title string) string {
+	out := title
+	for en, de := range levelsDE {
+		out = strings.ReplaceAll(out, en, de)
+	}
+	for en, de := range subjectsDE {
+		out = strings.ReplaceAll(out, en, de)
+	}
+	return out
+}
+
+func nulls(canon *relation.Relation, rng *rand.Rand) (*relation.Relation, map[string]string) {
+	cols := append([]string(nil), CanonicalAttributes...)
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		// Room and Instructor missing for 40% of courses.
+		if (col == "Room" || col == "Instructor") && rng.Float64() < 0.4 {
+			return value.Null
+		}
+		return canon.Value(i, col)
+	})
+	return rel, identityTruth(CanonicalAttributes...)
+}
+
+func virtualColumns(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	// Department dropped: it only lives inside the course code prefix.
+	cols := []string{"Code", "Title", "Instructor", "Credits", "Room", "Time"}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		return canon.Value(i, col)
+	})
+	return rel, identityTruth("Code", "Title", "Instructor", "Credits", "Room", "Time")
+}
+
+func semanticIncompat(canon *relation.Relation, rng *rand.Rand) (*relation.Relation, map[string]string) {
+	// "Credits" here means weekly contact hours — same name, different
+	// semantics and value distribution.
+	cols := append([]string(nil), CanonicalAttributes...)
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		if col == "Credits" {
+			return value.NewInt(int64(10 + rng.Intn(30))) // not the canonical 2..6
+		}
+		return canon.Value(i, col)
+	})
+	// The honest truth map excludes Credits: matching them would be a
+	// semantic error even though the names agree.
+	return rel, identityTruth("Code", "Title", "Instructor", "Room", "Time", "Department")
+}
+
+func structure(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	// Time split into Day and Hour.
+	cols := []string{"Code", "Title", "Instructor", "Credits", "Room", "Day", "Hour", "Department"}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		t := canon.Value(i, "Time").Text()
+		parts := strings.SplitN(t, " ", 2)
+		switch col {
+		case "Day":
+			return value.NewString(parts[0])
+		case "Hour":
+			return value.NewString(parts[1])
+		default:
+			return canon.Value(i, col)
+		}
+	})
+	return rel, identityTruth("Code", "Title", "Instructor", "Credits", "Room", "Department")
+}
+
+func sets(canon *relation.Relation, rng *rand.Rand) (*relation.Relation, map[string]string) {
+	// Instructor becomes a flattened set: "A. Turing; G. Hopper".
+	cols := append([]string(nil), CanonicalAttributes...)
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		if col == "Instructor" {
+			primary := canon.Value(i, "Instructor").Text()
+			if rng.Float64() < 0.5 {
+				extra := profFirst[rng.Intn(len(profFirst))] + " " + profLast[rng.Intn(len(profLast))]
+				return value.NewString(primary + "; " + extra)
+			}
+			return value.NewString(primary)
+		}
+		return canon.Value(i, col)
+	})
+	return rel, identityTruth(CanonicalAttributes...)
+}
+
+func opaqueNames(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	cols := make([]string, len(CanonicalAttributes))
+	truth := map[string]string{}
+	for i, a := range CanonicalAttributes {
+		cols[i] = fmt.Sprintf("col%d", i+1)
+		truth[a] = cols[i]
+	}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		var idx int
+		fmt.Sscanf(col, "col%d", &idx)
+		return canon.Value(i, CanonicalAttributes[idx-1])
+	})
+	return rel, truth
+}
+
+func composition(canon *relation.Relation) (*relation.Relation, map[string]string) {
+	// Instructor split into FirstName / LastName.
+	cols := []string{"Code", "Title", "FirstName", "LastName", "Credits", "Room", "Time", "Department"}
+	rel := rebuild(canon, cols, func(i int, col string) value.Value {
+		name := canon.Value(i, "Instructor").Text()
+		parts := strings.SplitN(name, " ", 2)
+		switch col {
+		case "FirstName":
+			return value.NewString(parts[0])
+		case "LastName":
+			if len(parts) > 1 {
+				return value.NewString(parts[1])
+			}
+			return value.Null
+		default:
+			return canon.Value(i, col)
+		}
+	})
+	return rel, identityTruth("Code", "Title", "Credits", "Room", "Time", "Department")
+}
+
+func identityTruth(attrs ...string) map[string]string {
+	m := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		m[a] = a
+	}
+	return m
+}

@@ -1,0 +1,367 @@
+// Package value defines the typed value model used throughout HumMer.
+//
+// A Value is a dynamically typed scalar: NULL, string, int64, float64,
+// bool, or time.Time. Relations store Values; expressions, similarity
+// measures, and conflict-resolution functions operate on them.
+//
+// The zero Value is NULL. Values are immutable once constructed.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported kinds. KindNull is the zero Kind so that the zero Value
+// is NULL, matching SQL semantics for missing data.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+	KindTime
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "STRING"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindBool:
+		return "BOOL"
+	case KindTime:
+		return "TIME"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// TimeLayout is the canonical textual layout for KindTime values.
+// It matches ISO-8601 dates with optional time component on parse.
+const TimeLayout = "2006-01-02 15:04:05"
+
+// Value is a dynamically typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64 // also stores bool (0/1) and time (UnixNano)
+	f    float64
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewString returns a string Value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewInt returns an integer Value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a float Value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewBool returns a boolean Value.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewTime returns a time Value, truncated to nanosecond UTC.
+func NewTime(t time.Time) Value {
+	return Value{kind: KindTime, i: t.UTC().UnixNano()}
+}
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload. It panics if v is not a string;
+// callers must check Kind first.
+func (v Value) Str() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// Int returns the integer payload.
+func (v Value) Int() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// Float returns the float payload.
+func (v Value) Float() float64 {
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool {
+	v.mustBe(KindBool)
+	return v.i != 0
+}
+
+// Time returns the time payload in UTC.
+func (v Value) Time() time.Time {
+	v.mustBe(KindTime)
+	return time.Unix(0, v.i).UTC()
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("value: %s accessed as %s", v.kind, k))
+	}
+}
+
+// IsNumeric reports whether v is an INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsFloat returns a float64 view of a numeric Value and true, or 0 and
+// false when v is not numeric.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value for display. NULL renders as the empty
+// string's SQL spelling "NULL"; use Text for data-oriented rendering.
+func (v Value) String() string {
+	if v.kind == KindNull {
+		return "NULL"
+	}
+	return v.Text()
+}
+
+// Text renders the value's data content. NULL renders as "".
+func (v Value) Text() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindTime:
+		return v.Time().Format(TimeLayout)
+	default:
+		return ""
+	}
+}
+
+// Equal reports deep equality. NULL equals only NULL (this is identity
+// equality used for grouping, not SQL three-valued logic; expression
+// evaluation handles SQL NULL semantics separately).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Allow cross-numeric equality: 3 == 3.0.
+		if v.IsNumeric() && o.IsNumeric() {
+			a, _ := v.AsFloat()
+			b, _ := o.AsFloat()
+			return a == b
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.s == o.s
+	case KindFloat:
+		return v.f == o.f
+	default:
+		return v.i == o.i
+	}
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before everything. Values of different non-numeric kinds
+// order by kind to give a stable total order.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.s, o.s)
+	case KindBool, KindTime:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// Hash returns a 64-bit hash of the value, consistent with Equal:
+// cross-numeric equal values hash identically (via the float64 image).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mix8 := func(x uint64) {
+		for s := 0; s < 64; s += 8 {
+			mix(byte(x >> s))
+		}
+	}
+	switch v.kind {
+	case KindNull:
+		mix(0)
+	case KindString:
+		mix(1)
+		for i := 0; i < len(v.s); i++ {
+			mix(v.s[i])
+		}
+	case KindInt, KindFloat:
+		mix(2)
+		f, _ := v.AsFloat()
+		mix8(math.Float64bits(f))
+	case KindBool:
+		mix(3)
+		mix8(uint64(v.i))
+	case KindTime:
+		mix(4)
+		mix8(uint64(v.i))
+	}
+	return h
+}
+
+// Parse converts a raw text field (e.g. from a CSV cell) into the most
+// specific Value it represents: empty string → NULL, then int, float,
+// bool, time, otherwise string. This is the loader-side type inference
+// HumMer's "transform to relational form" step performs.
+func Parse(raw string) Value {
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return Null
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		return NewFloat(f)
+	}
+	switch strings.ToLower(s) {
+	case "true":
+		return NewBool(true)
+	case "false":
+		return NewBool(false)
+	case "null", "nil", "n/a", "na", "-":
+		return Null
+	}
+	if t, ok := ParseTime(s); ok {
+		return NewTime(t)
+	}
+	return NewString(s)
+}
+
+// timeLayouts are the textual formats accepted by ParseTime, most
+// specific first.
+var timeLayouts = []string{
+	TimeLayout,
+	time.RFC3339,
+	"2006-01-02T15:04:05",
+	"2006-01-02",
+	"02.01.2006",
+	"01/02/2006",
+}
+
+// ParseTime parses s against the accepted time layouts.
+func ParseTime(s string) (time.Time, bool) {
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// Coerce converts v to kind k if a lossless or conventional conversion
+// exists. It returns v unchanged when v already has kind k or is NULL,
+// and ok=false when no conversion applies.
+func Coerce(v Value, k Kind) (Value, bool) {
+	if v.kind == k || v.kind == KindNull {
+		return v, true
+	}
+	switch k {
+	case KindString:
+		return NewString(v.Text()), true
+	case KindFloat:
+		if f, ok := v.AsFloat(); ok {
+			return NewFloat(f), true
+		}
+	case KindInt:
+		if v.kind == KindFloat && v.f == math.Trunc(v.f) {
+			return NewInt(int64(v.f)), true
+		}
+	case KindTime:
+		if v.kind == KindString {
+			if t, ok := ParseTime(v.s); ok {
+				return NewTime(t), true
+			}
+		}
+	}
+	return v, false
+}

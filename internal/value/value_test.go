@@ -1,0 +1,262 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.Kind() != KindNull {
+		t.Fatalf("zero Value kind = %v, want KindNull", v.Kind())
+	}
+	if !v.Equal(Null) {
+		t.Fatal("zero Value must equal Null")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := NewString("abc").Str(); got != "abc" {
+		t.Errorf("Str() = %q", got)
+	}
+	if got := NewInt(-42).Int(); got != -42 {
+		t.Errorf("Int() = %d", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("Float() = %g", got)
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool() round trip failed")
+	}
+	now := time.Date(2005, 8, 30, 12, 0, 0, 0, time.UTC)
+	if got := NewTime(now).Time(); !got.Equal(now) {
+		t.Errorf("Time() = %v, want %v", got, now)
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic accessing Int as Str")
+		}
+	}()
+	_ = NewInt(1).Str()
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "NULL", KindString: "STRING", KindInt: "INT",
+		KindFloat: "FLOAT", KindBool: "BOOL", KindTime: "TIME",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestCrossNumericEquality(t *testing.T) {
+	if !NewInt(3).Equal(NewFloat(3.0)) {
+		t.Error("3 must equal 3.0")
+	}
+	if NewInt(3).Equal(NewFloat(3.5)) {
+		t.Error("3 must not equal 3.5")
+	}
+	if NewInt(3).Equal(NewString("3")) {
+		t.Error("3 must not equal \"3\"")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewTime(time.Unix(1, 0)), NewTime(time.Unix(2, 0)), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	err := quick.Check(func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(7), NewFloat(7.0)},
+		{NewString("x"), NewString("x")},
+		{Null, Null},
+		{NewBool(true), NewBool(true)},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Fatalf("precondition: %v != %v", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("Hash(%v) != Hash(%v) for equal values", p[0], p[1])
+		}
+	}
+}
+
+func TestHashDistinguishesKinds(t *testing.T) {
+	// "3" (string) and 3 (int) are not equal, so ideally hash apart.
+	if NewString("3").Hash() == NewInt(3).Hash() {
+		t.Error("string \"3\" and int 3 hash identically (weak but suspicious)")
+	}
+}
+
+func TestHashQuickStrings(t *testing.T) {
+	err := quick.Check(func(s string) bool {
+		return NewString(s).Hash() == NewString(s).Hash()
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null},
+		{"  ", Null},
+		{"null", Null},
+		{"N/A", Null},
+		{"-", Null},
+		{"42", NewInt(42)},
+		{"-7", NewInt(-7)},
+		{"3.14", NewFloat(3.14)},
+		{"true", NewBool(true)},
+		{"False", NewBool(false)},
+		{"hello world", NewString("hello world")},
+		{"2005-08-30", NewTime(time.Date(2005, 8, 30, 0, 0, 0, 0, time.UTC))},
+		{"2005-08-30 13:45:00", NewTime(time.Date(2005, 8, 30, 13, 45, 0, 0, time.UTC))},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in); !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Parse(%q) = %v (%v), want %v (%v)", c.in, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestParseDoesNotAcceptInfNaN(t *testing.T) {
+	for _, s := range []string{"inf", "Inf", "NaN", "nan"} {
+		if got := Parse(s); got.Kind() == KindFloat {
+			t.Errorf("Parse(%q) produced a float; want string or null", s)
+		}
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, ""},
+		{NewString("s"), "s"},
+		{NewInt(10), "10"},
+		{NewFloat(0.5), "0.5"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.Text(); got != c.want {
+			t.Errorf("Text(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if Null.String() != "NULL" {
+		t.Errorf("Null.String() = %q, want NULL", Null.String())
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	err := quick.Check(func(i int64) bool {
+		v := NewInt(i)
+		return Parse(v.Text()).Equal(v)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, ok := Coerce(NewInt(3), KindFloat); !ok || v.Float() != 3.0 {
+		t.Error("int→float coercion failed")
+	}
+	if v, ok := Coerce(NewFloat(3.0), KindInt); !ok || v.Int() != 3 {
+		t.Error("integral float→int coercion failed")
+	}
+	if _, ok := Coerce(NewFloat(3.5), KindInt); ok {
+		t.Error("3.5→int must fail")
+	}
+	if v, ok := Coerce(NewInt(9), KindString); !ok || v.Str() != "9" {
+		t.Error("int→string coercion failed")
+	}
+	if v, ok := Coerce(Null, KindInt); !ok || !v.IsNull() {
+		t.Error("NULL must coerce to anything, staying NULL")
+	}
+	if v, ok := Coerce(NewString("2005-08-30"), KindTime); !ok || v.Kind() != KindTime {
+		t.Error("string→time coercion failed")
+	}
+	if _, ok := Coerce(NewBool(true), KindTime); ok {
+		t.Error("bool→time must fail")
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(4).AsFloat(); !ok || f != 4 {
+		t.Error("AsFloat(int) failed")
+	}
+	if f, ok := NewFloat(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Error("AsFloat(float) failed")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("AsFloat(string) must fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("AsFloat(NULL) must fail")
+	}
+}
+
+func TestCompareTransitivityQuick(t *testing.T) {
+	// For a random triple of floats, Compare must be transitive.
+	err := quick.Check(func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		va, vb, vc := NewFloat(a), NewFloat(b), NewFloat(c)
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 {
+			return va.Compare(vc) <= 0
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
