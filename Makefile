@@ -1,0 +1,39 @@
+# HumMer build / verify entry points.
+#
+#   make check   — everything CI needs: formatting, vet, build, tests,
+#                  and the perf-acceptance benchmarks in short mode.
+#   make bench   — the full benchmark suite (longer).
+#   make fmt     — rewrite files with gofmt.
+
+GO ?= go
+
+.PHONY: check fmtcheck fmt vet build test bench bench-short
+
+check: fmtcheck vet build test bench-short
+
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The perf-acceptance benchmarks, one iteration each on small inputs:
+# proves the parallel path stays byte-identical and the hot path stays
+# allocation-lean without taking minutes.
+bench-short:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkDetect$$|BenchmarkPairComparison' -benchtime 1x ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

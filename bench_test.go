@@ -14,6 +14,7 @@ package hummer
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"hummer/internal/core"
@@ -121,6 +122,44 @@ func benchDirty(n int) *relation.Relation {
 		Alias: "dirty", TypoRate: 0.15, NullRate: 0.1, Seed: benchSeed + 3,
 	})
 	return obs.Rel
+}
+
+// BenchmarkDetect measures the sharded parallel detector at scale:
+// exhaustive pairing over ≥5k rows (1.2k in -short mode), at worker
+// counts 1, 2 and 4. This is the perf-acceptance benchmark for the
+// parallel work: on a ≥4-core machine Parallelism=4 must be ≥2×
+// faster than Parallelism=1, and every run's Result must be
+// byte-identical to the sequential one (asserted here).
+func BenchmarkDetect(b *testing.B) {
+	n := 5000
+	if testing.Short() {
+		n = 1200
+	}
+	rel := benchDirty(n)
+	baseline, err := dupdetect.Detect(rel, dupdetect.Config{Parallelism: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("rows=%d/parallel=%d", n, p), func(b *testing.B) {
+			// Identity is asserted once, outside the timed loop: the
+			// reflection walk must not skew the measured speedup.
+			res, err := dupdetect.Detect(rel, dupdetect.Config{Parallelism: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !reflect.DeepEqual(baseline, res) {
+				b.Fatalf("parallel=%d produced a different Result than sequential", p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := dupdetect.Detect(rel, dupdetect.Config{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDupDetect measures duplicate detection with the upper-bound

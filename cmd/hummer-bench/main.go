@@ -4,37 +4,152 @@
 //
 // Usage:
 //
-//	hummer-bench            # run all experiments
-//	hummer-bench -exp e5    # run one experiment
-//	hummer-bench -seed 7    # change the workload seed
+//	hummer-bench                 # run all experiments
+//	hummer-bench -exp e5         # run one experiment
+//	hummer-bench -seed 7         # change the workload seed
+//	hummer-bench -json           # also write BENCH_<date>.json
+//	hummer-bench -json -out x.json
+//	hummer-bench -exp e12 -sizes 1000,5000,20000   # full scale-up
+//
+// The -json artifact records, per experiment, its wall-clock cost and
+// table, plus the machine-readable samples (timings and
+// duplicate-detection comparison counters) some experiments attach —
+// the perf trajectory of the repo is tracked through these files.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"hummer/internal/experiments"
 )
+
+// artifact is the schema of a BENCH_<date>.json file.
+type artifact struct {
+	Date        string  `json:"date"`
+	Seed        int64   `json:"seed"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	GoVersion   string  `json:"go_version"`
+	TotalSecond float64 `json:"total_seconds"`
+	Experiments []entry `json:"experiments"`
+}
+
+type entry struct {
+	ID      string                    `json:"id"`
+	Title   string                    `json:"title"`
+	Seconds float64                   `json:"seconds"`
+	Header  []string                  `json:"header"`
+	Rows    [][]string                `json:"rows"`
+	Samples []experiments.BenchSample `json:"samples,omitempty"`
+}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (e.g. e5); empty runs all: "+
 		strings.Join(experiments.IDs(), ", "))
 	seed := flag.Int64("seed", 2005, "workload seed")
+	jsonOut := flag.Bool("json", false, "write a BENCH_<date>.json artifact")
+	outPath := flag.String("out", "", "artifact path (default BENCH_<date>.json)")
+	sizes := flag.String("sizes", "", "comma-separated input sizes for e12 (e.g. 1000,5000,20000)")
 	flag.Parse()
 
-	if *exp != "" {
-		rep := experiments.ByID(*exp, *seed)
+	// Flags that silently do nothing are a trap: reject meaningless
+	// combinations instead of producing a misleading run.
+	if *sizes != "" && strings.ToLower(*exp) != "e12" {
+		fmt.Fprintln(os.Stderr, "hummer-bench: -sizes only applies to -exp e12")
+		os.Exit(1)
+	}
+	if *outPath != "" && !*jsonOut {
+		fmt.Fprintln(os.Stderr, "hummer-bench: -out requires -json")
+		os.Exit(1)
+	}
+
+	var reports []*experiments.Report
+	var entries []entry
+	t0 := time.Now()
+	run := func(gen func() *experiments.Report) {
+		s0 := time.Now()
+		rep := gen()
+		secs := time.Since(s0).Seconds()
 		if rep == nil {
+			return
+		}
+		reports = append(reports, rep)
+		entries = append(entries, entry{
+			ID: rep.ID, Title: rep.Title, Seconds: secs,
+			Header: rep.Header, Rows: rep.Rows, Samples: rep.Samples,
+		})
+	}
+
+	switch {
+	case *exp != "":
+		id := strings.ToLower(*exp)
+		if id == "e12" && *sizes != "" {
+			ns, err := parseSizes(*sizes)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hummer-bench:", err)
+				os.Exit(1)
+			}
+			run(func() *experiments.Report { return experiments.E12(*seed, ns) })
+		} else {
+			run(func() *experiments.Report { return experiments.ByID(id, *seed) })
+		}
+		if len(reports) == 0 {
 			fmt.Fprintf(os.Stderr, "hummer-bench: unknown experiment %q (known: %s)\n",
 				*exp, strings.Join(experiments.IDs(), ", "))
 			os.Exit(1)
 		}
-		fmt.Println(rep)
-		return
+	default:
+		for _, id := range experiments.IDs() {
+			id := id
+			run(func() *experiments.Report { return experiments.ByID(id, *seed) })
+		}
 	}
-	for _, rep := range experiments.All(*seed) {
+
+	for _, rep := range reports {
 		fmt.Println(rep)
 	}
+
+	if *jsonOut {
+		art := artifact{
+			Date:        time.Now().Format("2006-01-02"),
+			Seed:        *seed,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			GoVersion:   runtime.Version(),
+			TotalSecond: time.Since(t0).Seconds(),
+			Experiments: entries,
+		}
+		path := *outPath
+		if path == "" {
+			path = "BENCH_" + art.Date + ".json"
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hummer-bench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hummer-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hummer-bench: wrote %s\n", path)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sizes entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

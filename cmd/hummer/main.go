@@ -15,6 +15,11 @@
 //	-query SQL           the query; reads stdin when omitted
 //	-lineage             annotate each cell with its sources
 //	-trace               print the pipeline intermediates
+//	-parallel N          duplicate-detection worker goroutines
+//	                     (0 = GOMAXPROCS, 1 = sequential; identical results)
+//	-window W            sorted-neighborhood candidate generation
+//	-block P             prefix-blocking candidate generation (P = prefix runes)
+//	-threshold T         duplicate similarity threshold (default 0.8)
 package main
 
 import (
@@ -53,11 +58,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	query := fs.String("query", "", "the query; stdin when omitted")
 	lineageFlag := fs.Bool("lineage", false, "annotate cells with their sources")
 	trace := fs.Bool("trace", false, "print pipeline intermediates")
+	parallel := fs.Int("parallel", 0, "duplicate-detection workers (0 = GOMAXPROCS, 1 = sequential)")
+	window := fs.Int("window", 0, "sorted-neighborhood window (0 = exhaustive pairing)")
+	block := fs.Int("block", 0, "prefix-blocking key length in runes (0 = off)")
+	threshold := fs.Float64("threshold", 0, "duplicate similarity threshold (0 = default 0.8)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	db := hummer.New()
+	db.SetDetectConfig(hummer.DetectionConfig{
+		Threshold:   *threshold,
+		Window:      *window,
+		Blocking:    *block,
+		Parallelism: *parallel,
+	})
 	for _, spec := range csvs {
 		alias, path, err := splitSpec(spec, "=")
 		if err != nil {

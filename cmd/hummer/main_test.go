@@ -78,10 +78,10 @@ func TestRunLineageAndTrace(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
-		{"-query", "SELECT"},                            // syntax error
-		{"-csv", "noequals"},                            // bad spec
-		{"-json", "x"},                                  // bad spec
-		{"-xml", "a=file-without-tag"},                  // missing :tag
+		{"-query", "SELECT"},           // syntax error
+		{"-csv", "noequals"},           // bad spec
+		{"-json", "x"},                 // bad spec
+		{"-xml", "a=file-without-tag"}, // missing :tag
 		{"-csv", "a=/no/such/file.csv", "-query", "SELECT x FROM a"}, // load error
 	}
 	for _, args := range cases {

@@ -1,0 +1,3 @@
+module hummer
+
+go 1.24

@@ -71,6 +71,14 @@ type (
 	// Detection is the duplicate-detection output (clusters, scored
 	// pairs, borderline cases, comparison statistics).
 	Detection = dupdetect.Result
+	// DetectionConfig tunes duplicate detection: threshold, attribute
+	// selection, candidate-generation strategy (exhaustive, Window for
+	// sorted-neighborhood, Blocking for prefix blocking) and
+	// Parallelism (0 = GOMAXPROCS; the result is byte-identical at
+	// every worker count).
+	DetectionConfig = dupdetect.Config
+	// DetectionStats reports the comparison counts of a detection run.
+	DetectionStats = dupdetect.Stats
 	// Values re-exported for building rows and custom resolution
 	// functions.
 	Kind = value.Kind
@@ -163,6 +171,19 @@ func (db *DB) ResolutionFunctions() []string { return db.registry.Names() }
 
 // Query parses and executes a SELECT or FUSE BY statement.
 func (db *DB) Query(sql string) (*Result, error) { return db.executor.Query(sql) }
+
+// SetDetectConfig installs the default duplicate-detection
+// configuration used by Query's fusion statements — the API and CLI
+// knob for the candidate strategy (Window / Blocking) and Parallelism.
+// Fuse calls pass their own PipelineOptions.Detect instead.
+func (db *DB) SetDetectConfig(cfg DetectionConfig) { db.executor.Detect = cfg }
+
+// DetectDuplicates runs the duplicate-detection phase alone over a
+// relation — clusters, scored pairs and statistics without the full
+// fusion pipeline.
+func DetectDuplicates(rel *Relation, cfg DetectionConfig) (*Detection, error) {
+	return dupdetect.Detect(rel, cfg)
+}
 
 // Fuse runs the three-phase pipeline programmatically over the
 // registered aliases — the API equivalent of the demo's wizard mode.

@@ -1,0 +1,167 @@
+package dupdetect
+
+import (
+	"sort"
+	"strings"
+)
+
+// Candidate-pair generation. Every strategy is expressed as a pairGen:
+// a deterministic stream of (a, b) row-index pairs, a < b, in the
+// strategy's canonical order. The detector consumes the stream either
+// inline (sequential) or chunked across a worker pool (parallel); the
+// canonical order is what makes the two paths produce byte-identical
+// results.
+//
+// Three strategies exist:
+//
+//   - exhaustive: every pair, row-major — n·(n-1)/2 candidates. The
+//     paper's O(n²) default.
+//   - sorted neighborhood (Config.Window): rows sorted by a key
+//     concatenated from the selected attributes; only rows within the
+//     window are paired — ~n·w candidates.
+//   - blocking (Config.Blocking): multi-pass prefix blocking. One pass
+//     per selected attribute; rows sharing the first Blocking runes of
+//     that attribute's normalized value form a block, and all pairs
+//     within a block are candidates. A pair found by several passes is
+//     emitted once, on its first discovery. Oversized blocks (more
+//     than maxBlockRows rows share a prefix) carry almost no
+//     discriminating power and are skipped.
+
+// pairGen enumerates candidate pairs in canonical order. It stops
+// early when yield returns false.
+type pairGen func(yield func(a, b int) bool)
+
+// maxBlockRows caps a single block's size for the blocking strategy: a
+// prefix shared by this many rows does not discriminate entities, and
+// pairing inside it would reintroduce the quadratic blowup blocking
+// exists to avoid.
+const maxBlockRows = 1000
+
+// exhaustivePairs streams every pair in row-major order.
+func exhaustivePairs(n int) pairGen {
+	return func(yield func(a, b int) bool) {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if !yield(a, b) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// sortKeys builds the sorted-neighborhood sorting key of every row
+// from the measure's normalized-text cache (one ToLower per cell,
+// already paid by the measure).
+func (m *measure) sortKeys() []string {
+	n := len(m.texts)
+	keys := make([]string, n)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.Reset()
+		for k := range m.cols {
+			if !m.null[i][k] {
+				b.WriteString(m.texts[i][k])
+				b.WriteByte(' ')
+			}
+		}
+		keys[i] = b.String()
+	}
+	return keys
+}
+
+// windowPairs streams the sorted-neighborhood pairs: rows ordered by
+// key, every pair within `window` positions, in (position, distance)
+// order with a < b.
+func windowPairs(keys []string, window int) pairGen {
+	n := len(keys)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool { return keys[order[x]] < keys[order[y]] })
+	return func(yield func(a, b int) bool) {
+		for pos := 0; pos < n; pos++ {
+			for d := 1; d <= window && pos+d < n; d++ {
+				a, b := order[pos], order[pos+d]
+				if a > b {
+					a, b = b, a
+				}
+				if !yield(a, b) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// blockingPairs streams the multi-pass prefix-blocking pairs. Passes
+// run in selected-attribute order; within a pass, blocks run in sorted
+// key order and pairs in row order. The seen set deduplicates across
+// passes, so each pair is yielded exactly once, deterministically.
+func blockingPairs(m *measure, prefixLen int) pairGen {
+	n := len(m.texts)
+	return func(yield func(a, b int) bool) {
+		seen := make(map[uint64]struct{})
+		for k := range m.cols {
+			blocks := make(map[string][]int)
+			for i := 0; i < n; i++ {
+				if m.null[i][k] {
+					continue
+				}
+				key := runePrefix(m.runes[i][k], prefixLen)
+				if key == "" {
+					continue
+				}
+				blocks[key] = append(blocks[key], i)
+			}
+			keys := make([]string, 0, len(blocks))
+			for key := range blocks {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, key := range keys {
+				rows := blocks[key]
+				if len(rows) < 2 || len(rows) > maxBlockRows {
+					continue
+				}
+				for x := 0; x < len(rows); x++ {
+					for y := x + 1; y < len(rows); y++ {
+						a, b := rows[x], rows[y]
+						id := uint64(a)<<32 | uint64(b)
+						if _, dup := seen[id]; dup {
+							continue
+						}
+						seen[id] = struct{}{}
+						if !yield(a, b) {
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// runePrefix returns the first p runes of rs as a string (the whole
+// value when shorter).
+func runePrefix(rs []rune, p int) string {
+	if len(rs) <= p {
+		return string(rs)
+	}
+	return string(rs[:p])
+}
+
+// candidateGen selects the strategy for cfg over the measured
+// relation. Config validation has already rejected conflicting
+// settings.
+func candidateGen(m *measure, cfg Config) pairGen {
+	switch {
+	case cfg.Window > 0:
+		return windowPairs(m.sortKeys(), cfg.Window)
+	case cfg.Blocking > 0:
+		return blockingPairs(m, cfg.Blocking)
+	default:
+		return exhaustivePairs(len(m.texts))
+	}
+}

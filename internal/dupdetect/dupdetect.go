@@ -12,10 +12,36 @@
 // measure runs. Pairs above a threshold are duplicates; the transitive
 // closure over duplicate pairs forms clusters, and an objectID column
 // identifying each cluster is appended to the relation.
+//
+// # Candidate generation
+//
+// Which pairs are compared is decided by one of three strategies:
+//
+//   - exhaustive (the default): all n·(n-1)/2 pairs — the paper's
+//     quadratic loop, full recall.
+//   - sorted neighborhood (Config.Window > 0): rows are sorted by a
+//     key concatenated from the selected attributes and only rows
+//     within the window are compared — ~n·w comparisons, trading
+//     recall on far-sorting duplicates for near-linear cost.
+//   - blocking (Config.Blocking > 0): multi-pass prefix blocking, one
+//     pass per selected attribute; rows sharing the first Blocking
+//     runes of an attribute's normalized value are compared. Unlike
+//     the single sorted key, a pair only needs to agree on a prefix of
+//     *some* attribute to become a candidate.
+//
+// # Parallelism and determinism
+//
+// Config.Parallelism sets the number of worker goroutines scoring
+// candidate pairs (0 means GOMAXPROCS, 1 forces sequential). The
+// candidate stream is chunked, scored by workers with private scratch
+// buffers, and merged back in chunk order. The Result — clusters,
+// duplicate and borderline pair order, statistics — is byte-identical
+// across all worker counts: parallelism is purely a wall-clock knob.
 package dupdetect
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -58,8 +84,20 @@ type Config struct {
 	// attributes, and only rows within the window are compared. This
 	// trades a little recall (duplicates whose keys sort far apart)
 	// for near-linear comparison cost — the standard scale-up for
-	// duplicate detection.
+	// duplicate detection. Mutually exclusive with Blocking.
 	Window int
+	// Blocking, when positive, switches candidate generation to
+	// multi-pass prefix blocking: for each selected attribute, rows
+	// sharing the first Blocking runes of that attribute's normalized
+	// value form a block, and only rows sharing a block are compared.
+	// Recall survives a dirty attribute as long as some other selected
+	// attribute still agrees on its prefix. Mutually exclusive with
+	// Window.
+	Blocking int
+	// Parallelism is the number of worker goroutines that score
+	// candidate pairs: 0 means GOMAXPROCS, 1 forces the sequential
+	// path. The Result is byte-identical at every worker count.
+	Parallelism int
 }
 
 // Default returns the paper-faithful configuration.
@@ -81,7 +119,8 @@ type ScoredPair struct {
 // Stats reports the work the detector performed — E6 measures the
 // filter's effect through these numbers.
 type Stats struct {
-	// CandidatePairs is the number of pairs considered (n·(n-1)/2).
+	// CandidatePairs is the number of pairs considered (n·(n-1)/2 for
+	// the exhaustive strategy, fewer under Window or Blocking).
 	CandidatePairs int
 	// FilteredOut is how many pairs the upper bound discarded before
 	// the expensive measure ran.
@@ -97,7 +136,8 @@ type Result struct {
 	ObjectIDs []int
 	// Clusters lists row indices per cluster, each sorted ascending.
 	Clusters [][]int
-	// Duplicates are the pairs scored at or above the threshold.
+	// Duplicates are the pairs scored at or above the threshold, in
+	// candidate order.
 	Duplicates []ScoredPair
 	// Borderline are pairs in [0.9·threshold, threshold): the demo
 	// GUI shows these as "unsure cases" for the user to decide.
@@ -111,6 +151,9 @@ type Result struct {
 // Detect finds duplicate clusters in rel.
 func Detect(rel *relation.Relation, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Window > 0 && cfg.Blocking > 0 {
+		return nil, fmt.Errorf("dupdetect: Window and Blocking are mutually exclusive candidate strategies")
+	}
 	attrs := cfg.Attributes
 	if len(attrs) == 0 {
 		attrs = SelectAttributes(rel)
@@ -128,74 +171,20 @@ func Detect(rel *relation.Relation, cfg Config) (*Result, error) {
 	}
 
 	m := newMeasure(rel, cols, cfg)
-	n := rel.Len()
-	res := &Result{SelectedAttributes: attrs}
-	dsu := newUnionFind(n)
-	score := func(a, b int) {
-		res.Stats.CandidatePairs++
-		if !cfg.DisableFilter && m.upperBound(a, b) < cfg.Threshold {
-			res.Stats.FilteredOut++
-			return
-		}
-		res.Stats.Compared++
-		sim := m.similarity(a, b)
-		switch {
-		case sim >= cfg.Threshold:
-			res.Duplicates = append(res.Duplicates, ScoredPair{A: a, B: b, Sim: sim})
-			dsu.union(a, b)
-		case sim >= cfg.Threshold*0.9:
-			res.Borderline = append(res.Borderline, ScoredPair{A: a, B: b, Sim: sim})
-		}
+	out := scorePairs(m, cfg, candidateGen(m, cfg))
+
+	res := &Result{
+		SelectedAttributes: attrs,
+		Duplicates:         out.dups,
+		Borderline:         out.borderline,
+		Stats:              out.stats,
 	}
-	if cfg.Window > 0 {
-		for _, pair := range neighborhoodPairs(rel, cols, cfg.Window) {
-			score(pair[0], pair[1])
-		}
-	} else {
-		for a := 0; a < n; a++ {
-			for b := a + 1; b < n; b++ {
-				score(a, b)
-			}
-		}
+	dsu := newUnionFind(rel.Len())
+	for _, p := range out.dups {
+		dsu.union(p.A, p.B)
 	}
 	res.ObjectIDs, res.Clusters = dsu.clusters()
 	return res, nil
-}
-
-// neighborhoodPairs implements the sorted-neighborhood candidate
-// generation: rows are ordered by a normalized key concatenated from
-// the selected attributes and every pair within `window` positions is
-// a candidate. Pairs are returned with a < b and no duplicates.
-func neighborhoodPairs(rel *relation.Relation, cols []int, window int) [][2]int {
-	n := rel.Len()
-	keys := make([]string, n)
-	for i := 0; i < n; i++ {
-		var b strings.Builder
-		for _, j := range cols {
-			v := rel.Row(i)[j]
-			if !v.IsNull() {
-				b.WriteString(strings.ToLower(v.Text()))
-				b.WriteByte(' ')
-			}
-		}
-		keys[i] = b.String()
-	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(x, y int) bool { return keys[order[x]] < keys[order[y]] })
-	var pairs [][2]int
-	for pos := 0; pos < n; pos++ {
-		for d := 1; d <= window && pos+d < n; d++ {
-			a, b := order[pos], order[pos+d]
-			if a > b {
-				a, b = b, a
-			}
-			pairs = append(pairs, [2]int{a, b})
-		}
-	}
-	return pairs
 }
 
 // AppendObjectID returns a copy of rel extended with the objectID
@@ -303,17 +292,29 @@ func ScoreAttributes(rel *relation.Relation) []attrScore {
 
 // --- The similarity measure ----------------------------------------------
 
-// measure holds the precomputed state for pairwise comparison: column
-// indices, per-value identifying-power weights, and cached texts.
+// measure holds the precomputed per-cell state for pairwise
+// comparison. Everything derivable from a single cell — normalized
+// text, its rune form, sorted rune counts, numeric image, identifying
+// power — is computed exactly once here, so the per-pair hot path
+// performs no text normalization and no allocation.
 type measure struct {
 	rel  *relation.Relation
 	cols []int
 	cfg  Config
-	// texts[i][k] is the lowercased text of row i, selected attr k.
+	// texts[i][k] is the lowercased text of row i, selected attr k —
+	// the shared normalized-text cache (value.Text + ToLower run once
+	// per cell, not once per pair).
 	texts [][]string
+	// runes[i][k] is the rune form of texts[i][k], so the edit-
+	// distance kernel never re-decodes UTF-8.
+	runes [][][]rune
+	// counts[i][k] is the sorted rune histogram of texts[i][k],
+	// backing the multiset upper bound on edit similarity with a
+	// two-pointer merge instead of a map walk.
+	counts [][]runeCounts
 	// weights[i][k] is the identifying power (soft IDF) of that value.
 	weights [][]float64
-	// nums[i][k] is the numeric image, NaN-free flagged by isNum.
+	// nums[i][k] is the numeric image, flagged by isNum.
 	nums  [][]float64
 	isNum [][]bool
 	null  [][]bool
@@ -322,9 +323,6 @@ type measure struct {
 	// different entities even though their relative difference is
 	// small.
 	ranges []float64
-	// charCounts[i][k] is the rune histogram of texts[i][k], backing
-	// the multiset upper bound on edit similarity.
-	charCounts [][]map[rune]int
 	// avgRowWeight is the mean total attribute weight of a row — the
 	// typical amount of evidence available. Pairs compared on much
 	// less (because values are missing) get their similarity scaled
@@ -333,6 +331,16 @@ type measure struct {
 	avgRowWeight float64
 }
 
+// runeCount is one entry of a sorted rune histogram.
+type runeCount struct {
+	r rune
+	n int
+}
+
+// runeCounts is a rune histogram sorted by rune, for allocation-free
+// multiset intersection.
+type runeCounts []runeCount
+
 // evidenceFraction is the fraction of the average row weight a pair
 // must actually compare to earn full confidence.
 const evidenceFraction = 0.3
@@ -340,6 +348,18 @@ const evidenceFraction = 0.3
 func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 	n := rel.Len()
 	m := &measure{rel: rel, cols: cols, cfg: cfg}
+	m.texts = make([][]string, n)
+	m.runes = make([][][]rune, n)
+	m.counts = make([][]runeCounts, n)
+	m.weights = make([][]float64, n)
+	m.nums = make([][]float64, n)
+	m.isNum = make([][]bool, n)
+	m.null = make([][]bool, n)
+	m.ranges = make([]float64, len(cols))
+	mins := make([]float64, len(cols))
+	maxs := make([]float64, len(cols))
+	haveNum := make([]bool, len(cols))
+
 	// Identifying power: a corpus per attribute over that column's
 	// values ("soft version of IDF", criterion iii), combined with the
 	// attribute's distinctness — an attribute with near-unique values
@@ -347,48 +367,36 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 	// drawn from a small domain (a label, a city), so agreement or
 	// contradiction on it should weigh more.
 	corpora := make([]*strsim.Corpus, len(cols))
-	distinctness := make([]float64, len(cols))
-	for k, j := range cols {
-		c := strsim.NewCorpus()
-		distinct := map[uint64]bool{}
-		nonNull := 0
-		for i := 0; i < n; i++ {
-			if v := rel.Row(i)[j]; !v.IsNull() {
-				c.AddText(v.Text())
-				distinct[v.Hash()] = true
-				nonNull++
-			}
-		}
-		corpora[k] = c
-		if nonNull > 0 {
-			distinctness[k] = float64(len(distinct)) / float64(nonNull)
-		}
+	distinct := make([]map[uint64]bool, len(cols))
+	nonNull := make([]int, len(cols))
+	for k := range cols {
+		corpora[k] = strsim.NewCorpus()
+		distinct[k] = map[uint64]bool{}
 	}
-	m.texts = make([][]string, n)
-	m.weights = make([][]float64, n)
-	m.nums = make([][]float64, n)
-	m.isNum = make([][]bool, n)
-	m.null = make([][]bool, n)
-	m.charCounts = make([][]map[rune]int, n)
-	m.ranges = make([]float64, len(cols))
-	mins := make([]float64, len(cols))
-	maxs := make([]float64, len(cols))
-	haveNum := make([]bool, len(cols))
+
+	// Pass 1: normalize every cell once and derive all per-cell state.
+	var sortBuf []rune
 	for i := 0; i < n; i++ {
 		m.texts[i] = make([]string, len(cols))
+		m.runes[i] = make([][]rune, len(cols))
+		m.counts[i] = make([]runeCounts, len(cols))
 		m.weights[i] = make([]float64, len(cols))
 		m.nums[i] = make([]float64, len(cols))
 		m.isNum[i] = make([]bool, len(cols))
 		m.null[i] = make([]bool, len(cols))
-		m.charCounts[i] = make([]map[rune]int, len(cols))
 		for k, j := range cols {
 			v := rel.Row(i)[j]
 			if v.IsNull() {
 				m.null[i][k] = true
 				continue
 			}
-			m.texts[i][k] = strings.ToLower(v.Text())
-			m.charCounts[i][k] = runeHistogram(m.texts[i][k])
+			txt := strings.ToLower(v.Text())
+			m.texts[i][k] = txt
+			m.runes[i][k] = []rune(txt)
+			m.counts[i][k], sortBuf = countRunes(m.runes[i][k], sortBuf)
+			corpora[k].AddText(txt)
+			distinct[k][v.Hash()] = true
+			nonNull[k]++
 			if f, ok := v.AsFloat(); ok {
 				m.nums[i][k] = f
 				m.isNum[i][k] = true
@@ -400,12 +408,27 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 				}
 				haveNum[k] = true
 			}
-			m.weights[i][k] = identifyingPower(corpora[k], v) * (0.25 + 0.75*distinctness[k])
 		}
 	}
 	for k := range cols {
 		if haveNum[k] {
 			m.ranges[k] = maxs[k] - mins[k]
+		}
+	}
+
+	// Pass 2: weights need the complete corpora and distinctness.
+	distinctness := make([]float64, len(cols))
+	for k := range cols {
+		if nonNull[k] > 0 {
+			distinctness[k] = float64(len(distinct[k])) / float64(nonNull[k])
+		}
+	}
+	for i := 0; i < n; i++ {
+		for k := range cols {
+			if !m.null[i][k] {
+				m.weights[i][k] = identifyingPower(corpora[k], m.texts[i][k]) *
+					(0.25 + 0.75*distinctness[k])
+			}
 		}
 	}
 	if n > 0 {
@@ -420,18 +443,31 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 	return m
 }
 
-func runeHistogram(s string) map[rune]int {
-	h := make(map[rune]int, len(s))
-	for _, r := range s {
-		h[r]++
+// countRunes builds the sorted rune histogram of rs, reusing sortBuf
+// as sorting scratch (returned for the next call).
+func countRunes(rs []rune, sortBuf []rune) (runeCounts, []rune) {
+	if len(rs) == 0 {
+		return nil, sortBuf
 	}
-	return h
+	sortBuf = append(sortBuf[:0], rs...)
+	slices.Sort(sortBuf)
+	out := make(runeCounts, 0, len(sortBuf))
+	for _, r := range sortBuf {
+		if len(out) > 0 && out[len(out)-1].r == r {
+			out[len(out)-1].n++
+		} else {
+			out = append(out, runeCount{r: r, n: 1})
+		}
+	}
+	return out, sortBuf
 }
 
 // identifyingPower is the mean soft IDF of the value's tokens — rare
-// values identify entities, frequent values do not.
-func identifyingPower(c *strsim.Corpus, v value.Value) float64 {
-	tokens := strsim.Tokenize(v.Text())
+// values identify entities, frequent values do not. text is the cell's
+// normalized text (tokenization lowercases anyway, so normalized and
+// raw text yield identical tokens).
+func identifyingPower(c *strsim.Corpus, text string) float64 {
+	tokens := strsim.Tokenize(text)
 	if len(tokens) == 0 {
 		return 0.5
 	}
@@ -450,14 +486,15 @@ func identifyingPower(c *strsim.Corpus, v value.Value) float64 {
 // their value similarity s reaches matchCutoff, "contradicting" when
 // both are non-null but dissimilar, and skipped entirely when either
 // is NULL (missing data has no influence, criterion iv). The weight w
-// is the mean identifying power of the two values.
-func (m *measure) similarity(a, b int) float64 {
+// is the mean identifying power of the two values. sc provides the
+// caller-owned scratch buffers for the edit-distance kernel.
+func (m *measure) similarity(a, b int, sc *strsim.Scratch) float64 {
 	var num, den, evidence float64
 	for k := range m.cols {
 		if m.null[a][k] || m.null[b][k] {
 			continue
 		}
-		s := m.valueSim(a, b, k)
+		s := m.valueSim(a, b, k, sc)
 		w := (m.weights[a][k] + m.weights[b][k]) / 2
 		evidence += w
 		if s >= matchCutoff {
@@ -488,14 +525,15 @@ func (m *measure) evidenceFactor(evidence float64) float64 {
 
 // valueSim compares two non-null values of one attribute: numeric
 // distance when both are numeric, edit similarity otherwise
-// (criterion ii). Numeric distance is normalized by the attribute's
-// observed value spread, so that e.g. two ages 30 years apart read as
-// contradictory even though their relative difference is small.
-func (m *measure) valueSim(a, b, k int) float64 {
+// (criterion ii). The edit similarity is threshold-bounded at
+// matchCutoff: values whose similarity cannot reach the cutoff only
+// ever act as contradictions, so the dynamic program abandons early
+// and returns a canonical below-cutoff value.
+func (m *measure) valueSim(a, b, k int, sc *strsim.Scratch) float64 {
 	if m.isNum[a][k] && m.isNum[b][k] {
 		return m.numericSim(a, b, k)
 	}
-	return strsim.LevenshteinSim(m.texts[a][k], m.texts[b][k])
+	return sc.LevenshteinSimBoundedRunes(m.runes[a][k], m.runes[b][k], matchCutoff)
 }
 
 func (m *measure) numericSim(a, b, k int) float64 {
@@ -544,8 +582,8 @@ func (m *measure) upperBound(a, b int) float64 {
 		if m.isNum[a][k] && m.isNum[b][k] {
 			bound = m.numericSim(a, b, k)
 		} else {
-			bound = editSimBound(m.texts[a][k], m.texts[b][k],
-				m.charCounts[a][k], m.charCounts[b][k])
+			bound = editSimBound(len(m.runes[a][k]), len(m.runes[b][k]),
+				m.counts[a][k], m.counts[b][k])
 		}
 		if bound >= matchCutoff {
 			w := (m.weights[a][k] + m.weights[b][k]) / 2
@@ -563,10 +601,10 @@ func (m *measure) upperBound(a, b int) float64 {
 	return num / den * m.evidenceFactor(evidence)
 }
 
-// editSimBound returns an upper bound of LevenshteinSim(a,b) in O(|a|+
-// |b|): the rune-multiset intersection over the longer length.
-func editSimBound(a, b string, ha, hb map[rune]int) float64 {
-	la, lb := len([]rune(a)), len([]rune(b))
+// editSimBound returns an upper bound of the edit similarity of two
+// strings of rune lengths la and lb in O(la+lb): the rune-multiset
+// intersection (a sorted two-pointer merge) over the longer length.
+func editSimBound(la, lb int, ca, cb runeCounts) float64 {
 	max := la
 	if lb > max {
 		max = lb
@@ -574,16 +612,22 @@ func editSimBound(a, b string, ha, hb map[rune]int) float64 {
 	if max == 0 {
 		return 1
 	}
-	if len(hb) < len(ha) {
-		ha, hb = hb, ha
-	}
 	common := 0
-	for r, ca := range ha {
-		cb := hb[r]
-		if cb < ca {
-			common += cb
-		} else {
-			common += ca
+	i, j := 0, 0
+	for i < len(ca) && j < len(cb) {
+		switch {
+		case ca[i].r < cb[j].r:
+			i++
+		case ca[i].r > cb[j].r:
+			j++
+		default:
+			if ca[i].n < cb[j].n {
+				common += ca[i].n
+			} else {
+				common += cb[j].n
+			}
+			i++
+			j++
 		}
 	}
 	return float64(common) / float64(max)

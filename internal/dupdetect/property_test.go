@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hummer/internal/relation"
+	"hummer/internal/strsim"
 	"hummer/internal/value"
 )
 
@@ -134,9 +135,10 @@ func TestPropertySimilaritySymmetric(t *testing.T) {
 			cols[i] = i
 		}
 		m := newMeasure(rel, cols, Config{Threshold: 0.8})
+		var sc strsim.Scratch
 		for a := 0; a < rel.Len(); a++ {
 			for b := a + 1; b < rel.Len(); b++ {
-				if s1, s2 := m.similarity(a, b), m.similarity(b, a); s1 != s2 {
+				if s1, s2 := m.similarity(a, b, &sc), m.similarity(b, a, &sc); s1 != s2 {
 					t.Fatalf("similarity asymmetric: (%d,%d)=%g vs %g", a, b, s1, s2)
 				}
 			}
@@ -155,10 +157,11 @@ func TestPropertyUpperBoundDominates(t *testing.T) {
 			cols[i] = i
 		}
 		m := newMeasure(rel, cols, Config{Threshold: 0.8})
+		var sc strsim.Scratch
 		for a := 0; a < rel.Len(); a++ {
 			for b := a + 1; b < rel.Len(); b++ {
 				ub := m.upperBound(a, b)
-				sim := m.similarity(a, b)
+				sim := m.similarity(a, b, &sc)
 				if ub < sim-1e-9 {
 					t.Fatalf("bound %g < similarity %g for rows %d,%d:\n%v\n%v",
 						ub, sim, a, b, rel.Row(a), rel.Row(b))

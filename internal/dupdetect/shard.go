@@ -1,0 +1,151 @@
+package dupdetect
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"hummer/internal/strsim"
+)
+
+// Sharded pair scoring. The candidate stream is cut into fixed-size
+// chunks; workers score chunks concurrently, each with its own
+// strsim.Scratch and its own Stats / scored-pair buffers; the
+// per-chunk results are merged back in chunk order. Because chunk
+// boundaries and the within-chunk order are functions of the canonical
+// pair order alone, the merged Result is byte-identical to the
+// sequential path at any worker count.
+
+// pairChunkSize is the number of candidate pairs per work unit. Large
+// enough to amortize channel traffic, small enough to keep all workers
+// busy on mid-sized inputs.
+const pairChunkSize = 1024
+
+type pairChunk struct {
+	idx   int
+	pairs [][2]int
+}
+
+// shardResult is one chunk's (or the whole sequential run's) scoring
+// output.
+type shardResult struct {
+	idx        int
+	stats      Stats
+	dups       []ScoredPair
+	borderline []ScoredPair
+}
+
+// pairScorer scores candidate pairs with private scratch buffers; one
+// per worker.
+type pairScorer struct {
+	m       *measure
+	cfg     Config
+	scratch strsim.Scratch
+}
+
+func (ps *pairScorer) score(a, b int, out *shardResult) {
+	out.stats.CandidatePairs++
+	if !ps.cfg.DisableFilter && ps.m.upperBound(a, b) < ps.cfg.Threshold {
+		out.stats.FilteredOut++
+		return
+	}
+	out.stats.Compared++
+	sim := ps.m.similarity(a, b, &ps.scratch)
+	switch {
+	case sim >= ps.cfg.Threshold:
+		out.dups = append(out.dups, ScoredPair{A: a, B: b, Sim: sim})
+	case sim >= ps.cfg.Threshold*0.9:
+		out.borderline = append(out.borderline, ScoredPair{A: a, B: b, Sim: sim})
+	}
+}
+
+// scorePairs runs the candidate stream through cfg.Parallelism worker
+// goroutines (0 = GOMAXPROCS) and returns the merged, canonically
+// ordered scoring output.
+func scorePairs(m *measure, cfg Config, gen pairGen) shardResult {
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Tiny inputs fit in a single chunk; the pool would only add
+	// scheduling overhead (the result is identical either way).
+	if n := len(m.texts); workers > 1 && n*(n-1)/2 <= pairChunkSize {
+		workers = 1
+	}
+	if workers == 1 {
+		ps := &pairScorer{m: m, cfg: cfg}
+		var out shardResult
+		gen(func(a, b int) bool {
+			ps.score(a, b, &out)
+			return true
+		})
+		return out
+	}
+
+	jobs := make(chan pairChunk, workers)
+	results := make(chan shardResult, workers)
+	bufPool := sync.Pool{New: func() any {
+		buf := make([][2]int, 0, pairChunkSize)
+		return &buf
+	}}
+
+	// Generator: stream the canonical pair order into chunks.
+	go func() {
+		defer close(jobs)
+		idx := 0
+		buf := bufPool.Get().(*[][2]int)
+		gen(func(a, b int) bool {
+			*buf = append(*buf, [2]int{a, b})
+			if len(*buf) == pairChunkSize {
+				jobs <- pairChunk{idx: idx, pairs: *buf}
+				idx++
+				buf = bufPool.Get().(*[][2]int)
+				*buf = (*buf)[:0]
+			}
+			return true
+		})
+		if len(*buf) > 0 {
+			jobs <- pairChunk{idx: idx, pairs: *buf}
+		}
+	}()
+
+	// Workers: score chunks with per-worker scratch.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ps := &pairScorer{m: m, cfg: cfg}
+			for ch := range jobs {
+				out := shardResult{idx: ch.idx}
+				for _, p := range ch.pairs {
+					ps.score(p[0], p[1], &out)
+				}
+				buf := ch.pairs[:0]
+				bufPool.Put(&buf)
+				results <- out
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Merge deterministically: chunk order restores the canonical pair
+	// order, so Duplicates/Borderline come out exactly as sequential.
+	var chunks []shardResult
+	for cr := range results {
+		chunks = append(chunks, cr)
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].idx < chunks[j].idx })
+	var merged shardResult
+	for _, cr := range chunks {
+		merged.stats.CandidatePairs += cr.stats.CandidatePairs
+		merged.stats.FilteredOut += cr.stats.FilteredOut
+		merged.stats.Compared += cr.stats.Compared
+		merged.dups = append(merged.dups, cr.dups...)
+		merged.borderline = append(merged.borderline, cr.borderline...)
+	}
+	return merged
+}

@@ -228,6 +228,13 @@ type Cross struct {
 // (right-side duplicates are suffixed with the right operator's index
 // by the caller if needed — the planner qualifies names first).
 func NewCross(left, right Operator) (*Cross, error) {
+	return &Cross{left: left, right: right, out: concatSchema(left, right)}, nil
+}
+
+// concatSchema concatenates two operators' schemas, uniquifying
+// duplicate column names with "_r" suffixes (the joined right side
+// yields Name, Name_r, Name_r_r, ...).
+func concatSchema(left, right Operator) *schema.Schema {
 	cols := append(left.Schema().Columns(), right.Schema().Columns()...)
 	seen := map[string]bool{}
 	for i := range cols {
@@ -238,7 +245,7 @@ func NewCross(left, right Operator) (*Cross, error) {
 		seen[key] = true
 		cols[i].Name = key
 	}
-	return &Cross{left: left, right: right, out: schema.New(cols...)}, nil
+	return schema.New(cols...)
 }
 
 // Schema returns the concatenated schema.
@@ -287,10 +294,10 @@ func (c *Cross) Next() (relation.Row, bool) {
 // HashJoin joins two inputs on equality of one column pair, building a
 // hash table over the right input.
 type HashJoin struct {
-	left, right        Operator
-	leftCol, rightCol  string
-	out                *schema.Schema
-	table              map[uint64][]relation.Row
+	left, right       Operator
+	leftCol, rightCol string
+	out               *schema.Schema
+	table             map[uint64][]relation.Row
 	ri                int
 	cur               relation.Row
 	matches           []relation.Row
@@ -305,20 +312,10 @@ func NewHashJoin(left, right Operator, leftCol, rightCol string) (*HashJoin, err
 	if _, ok := right.Schema().Lookup(rightCol); !ok {
 		return nil, fmt.Errorf("engine: hash join: no right column %q", rightCol)
 	}
-	cols := append(left.Schema().Columns(), right.Schema().Columns()...)
-	seen := map[string]bool{}
-	for i := range cols {
-		key := cols[i].Name
-		for seen[key] {
-			key += "_r"
-		}
-		seen[key] = true
-		cols[i].Name = key
-	}
 	return &HashJoin{
 		left: left, right: right,
 		leftCol: leftCol, rightCol: rightCol,
-		out: schema.New(cols...),
+		out: concatSchema(left, right),
 	}, nil
 }
 

@@ -7,7 +7,8 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"reflect"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +32,20 @@ type Report struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+	// Samples are machine-readable measurements backing the table,
+	// written into the BENCH_<date>.json trajectory artifact by
+	// cmd/hummer-bench -json. Not rendered by String.
+	Samples []BenchSample
+}
+
+// BenchSample is one machine-readable measurement: a named run with
+// its wall-clock cost and the detector's comparison counters.
+type BenchSample struct {
+	Name    string          `json:"name"`
+	Rows    int             `json:"rows"`
+	Workers int             `json:"workers"`
+	Seconds float64         `json:"seconds"`
+	Stats   dupdetect.Stats `json:"stats"`
 }
 
 // String renders the report as an aligned text table.
@@ -522,6 +537,84 @@ func E11(seed int64, entities, dupesPer int) *Report {
 	return rep
 }
 
+// E12 is the scale-up experiment for the sharded parallel detector:
+// every candidate-generation strategy (exhaustive, sorted-neighborhood
+// window, prefix blocking), each run sequentially (Parallelism=1) and
+// parallel (Parallelism=0 ⇒ GOMAXPROCS), at growing input sizes. The
+// parallel run must return a byte-identical clustering — the "same"
+// column asserts it — so the speedup column is pure wall-clock.
+func E12(seed int64, sizes []int) *Report {
+	rep := &Report{
+		ID:     "E12",
+		Title:  "parallel sharded detection scale-up (exhaustive / window / blocking)",
+		Header: []string{"rows", "method", "candidates", "compared", "sequential", "parallel", "speedup", "same", "F1"},
+		Notes: fmt.Sprintf("parallel = %d workers (GOMAXPROCS); full scale-up: hummer-bench -exp e12 -sizes 1000,5000,20000",
+			runtime.GOMAXPROCS(0)),
+	}
+	methods := []struct {
+		label string
+		cfg   dupdetect.Config
+	}{
+		{"exhaustive", dupdetect.Config{Threshold: 0.8}},
+		{"SNM w=10", dupdetect.Config{Threshold: 0.8, Window: 10}},
+		{"blocking p=4", dupdetect.Config{Threshold: 0.8, Blocking: 4}},
+	}
+	for _, n := range sizes {
+		ents := datagen.Persons.Generate(seed, n/2)
+		obs := datagen.DirtyTable(datagen.Persons, ents, 2, datagen.SourceSpec{
+			Alias: "dirty", TypoRate: 0.15, NullRate: 0.1, Seed: seed + 6,
+		})
+		for _, meth := range methods {
+			seqCfg := meth.cfg
+			seqCfg.Parallelism = 1
+			t0 := nowMono()
+			seq, err := dupdetect.Detect(obs.Rel, seqCfg)
+			seqDur := nowMono() - t0
+			if err != nil {
+				rep.Rows = append(rep.Rows, []string{fmt.Sprint(obs.Rel.Len()), meth.label, "err: " + err.Error(), "", "", "", "", "", ""})
+				continue
+			}
+			parCfg := meth.cfg
+			parCfg.Parallelism = 0 // GOMAXPROCS
+			t1 := nowMono()
+			par, err := dupdetect.Detect(obs.Rel, parCfg)
+			parDur := nowMono() - t1
+			if err != nil {
+				rep.Rows = append(rep.Rows, []string{fmt.Sprint(obs.Rel.Len()), meth.label, "err: " + err.Error(), "", "", "", "", "", ""})
+				continue
+			}
+			same := "yes"
+			if !reflect.DeepEqual(seq, par) {
+				same = "NO"
+			}
+			speedup := "-"
+			if parDur > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(seqDur)/float64(parDur))
+			}
+			m := eval.DuplicatePairs(seq.ObjectIDs, obs.EntityIDs)
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprint(obs.Rel.Len()), meth.label,
+				fmt.Sprint(seq.Stats.CandidatePairs), fmt.Sprint(seq.Stats.Compared),
+				fmtDuration(seqDur), fmtDuration(parDur), speedup, same, f3(m.F1),
+			})
+			rep.Samples = append(rep.Samples,
+				BenchSample{
+					Name: "e12/" + meth.label + "/sequential", Rows: obs.Rel.Len(),
+					Workers: 1, Seconds: float64(seqDur) / 1e9, Stats: seq.Stats,
+				},
+				BenchSample{
+					Name: "e12/" + meth.label + "/parallel", Rows: obs.Rel.Len(),
+					Workers: runtime.GOMAXPROCS(0), Seconds: float64(parDur) / 1e9, Stats: par.Stats,
+				})
+		}
+	}
+	return rep
+}
+
+// e12QuickSizes keeps the default suite (and its tests) fast; the full
+// {1k, 5k, 20k} scale-up is an explicit hummer-bench -sizes run.
+var e12QuickSizes = []int{400, 1200}
+
 // All runs every experiment with default parameters, in order.
 func All(seed int64) []*Report {
 	return []*Report{
@@ -534,6 +627,7 @@ func All(seed int64) []*Report {
 		E9(seed),
 		E10(seed, 60),
 		E11(seed, 80, 3),
+		E12(seed, e12QuickSizes),
 	}
 }
 
@@ -558,16 +652,16 @@ func ByID(id string, seed int64) *Report {
 		return E10(seed, 60)
 	case "e11":
 		return E11(seed, 80, 3)
+	case "e12":
+		return E12(seed, e12QuickSizes)
 	default:
 		return nil
 	}
 }
 
-// IDs lists the experiment ids ByID accepts.
+// IDs lists the experiment ids ByID accepts, in canonical run order.
 func IDs() []string {
-	ids := []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"}
-	sort.Strings(ids)
-	return ids
+	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
 }
 
 func minInt(a, b int) int {

@@ -119,23 +119,23 @@ func (r *Registry) Names() []string {
 // builtins holds the paper's resolution functions (§2.4) and the SQL
 // aggregates the Fuse By statement may also use.
 var builtins = map[string]Func{
-	"coalesce":   fnCoalesce,
-	"first":      fnFirst,
-	"last":       fnLast,
-	"vote":       fnVote,
-	"group":      fnGroup,
-	"concat":     fnConcat,
-	"annconcat":  fnAnnotatedConcat,
-	"shortest":   fnShortest,
-	"longest":    fnLongest,
-	"choose":     fnChoose,
-	"mostrecent": fnMostRecent,
-	"min":        fnMin,
-	"max":        fnMax,
-	"sum":        fnSum,
-	"avg":        fnAvg,
-	"count":      fnCount,
-	"median":     fnMedian,
+	"coalesce":     fnCoalesce,
+	"first":        fnFirst,
+	"last":         fnLast,
+	"vote":         fnVote,
+	"group":        fnGroup,
+	"concat":       fnConcat,
+	"annconcat":    fnAnnotatedConcat,
+	"shortest":     fnShortest,
+	"longest":      fnLongest,
+	"choose":       fnChoose,
+	"mostrecent":   fnMostRecent,
+	"min":          fnMin,
+	"max":          fnMax,
+	"sum":          fnSum,
+	"avg":          fnAvg,
+	"count":        fnCount,
+	"median":       fnMedian,
 	"stddev":       fnStddev,
 	"random":       fnFirstNonNullAlias, // deterministic stand-in, see doc
 	"mostcomplete": fnMostComplete,

@@ -42,6 +42,10 @@ type Executor struct {
 	// install wizard hooks); nil builds a fresh pipeline from Repo
 	// and Registry.
 	Pipeline *core.Pipeline
+	// Detect is the default duplicate-detection configuration applied
+	// to fusion queries (threshold, candidate strategy, parallelism).
+	// The zero value means paper-faithful defaults.
+	Detect dupdetect.Config
 }
 
 // Query parses and executes one statement.
@@ -82,6 +86,7 @@ func (e *Executor) executeFusion(stmt *sql.Stmt) (*QueryResult, error) {
 	opts := core.Options{
 		FuseBy: stmt.FuseBy,
 		Where:  stmt.Where,
+		Detect: e.Detect,
 	}
 	// SELECT list → fusion output items. The * wildcard appends "all
 	// attributes present in the sources" (§2.1) not already selected.

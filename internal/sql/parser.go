@@ -31,7 +31,7 @@ type parser struct {
 	pos  int
 }
 
-func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) cur() Token { return p.toks[p.pos] }
 func (p *parser) peek() Token {
 	if p.pos+1 < len(p.toks) {
 		return p.toks[p.pos+1]

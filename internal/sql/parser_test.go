@@ -175,8 +175,8 @@ func TestParseErrors(t *testing.T) {
 		"SELECT RESOLVE FROM t",
 		"SELECT RESOLVE( FROM t",
 		"SELECT RESOLVE(a FROM t",
-		"SELECT a FROM t FUSE BY a",     // missing parens
-		"SELECT a FROM t FUSE BY (a",    // unclosed
+		"SELECT a FROM t FUSE BY a",      // missing parens
+		"SELECT a FROM t FUSE BY (a",     // unclosed
 		"SELECT a FROM t WHERE a LIKE b", // LIKE needs a string
 		"SELECT a FROM t trailing junk ,",
 		"SELECT a FROM t WHERE a IN ()",

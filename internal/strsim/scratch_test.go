@@ -1,0 +1,114 @@
+package strsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestScratchLevenshteinSimMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var s Scratch
+	for trial := 0; trial < 2000; trial++ {
+		a := randomWord(rng, rng.Intn(20))
+		b := randomWord(rng, rng.Intn(20))
+		want := LevenshteinSim(a, b)
+		if got := s.LevenshteinSim(a, b); got != want {
+			t.Fatalf("LevenshteinSim(%q,%q) = %g, exact %g", a, b, got, want)
+		}
+	}
+}
+
+func TestBoundedExactAboveCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s Scratch
+	for _, cutoff := range []float64{0.5, 0.75, 0.9} {
+		for trial := 0; trial < 2000; trial++ {
+			a := randomWord(rng, 1+rng.Intn(16))
+			// Mutate a few characters so many pairs land near the cutoff.
+			rb := []byte(a)
+			for k := 0; k < rng.Intn(4); k++ {
+				rb[rng.Intn(len(rb))] = byte('a' + rng.Intn(26))
+			}
+			b := string(rb)
+			exact := LevenshteinSim(a, b)
+			got := s.LevenshteinSimBounded(a, b, cutoff)
+			if exact >= cutoff && got != exact {
+				t.Fatalf("cutoff %g: bounded(%q,%q) = %g, want exact %g",
+					cutoff, a, b, got, exact)
+			}
+			if exact < cutoff && got >= cutoff {
+				t.Fatalf("cutoff %g: bounded(%q,%q) = %g crossed cutoff (exact %g)",
+					cutoff, a, b, got, exact)
+			}
+			// The canonical below-cutoff value is the best similarity
+			// the abandoned computation could still have reached, so it
+			// must never undershoot the exact similarity.
+			if got < exact-1e-12 {
+				t.Fatalf("cutoff %g: bounded(%q,%q) = %g below exact %g",
+					cutoff, a, b, got, exact)
+			}
+		}
+	}
+}
+
+func TestBoundedSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var s Scratch
+	for trial := 0; trial < 2000; trial++ {
+		a := randomWord(rng, rng.Intn(14))
+		b := randomWord(rng, rng.Intn(14))
+		ab := s.LevenshteinSimBounded(a, b, 0.75)
+		ba := s.LevenshteinSimBounded(b, a, 0.75)
+		if ab != ba {
+			t.Fatalf("bounded sim asymmetric: (%q,%q)=%g vs %g", a, b, ab, ba)
+		}
+	}
+}
+
+func TestBoundedUnicode(t *testing.T) {
+	var s Scratch
+	if got := s.LevenshteinSim("héllo", "hello"); got != LevenshteinSim("héllo", "hello") {
+		t.Fatalf("unicode mismatch: %g", got)
+	}
+	if got := s.LevenshteinSim("", ""); got != 1 {
+		t.Fatalf("empty strings: %g", got)
+	}
+}
+
+// BenchmarkPairComparison is the duplicate-detection hot path in
+// isolation: one edit-similarity call per candidate pair. "alloc" is
+// the original package-level function (rune slices + DP rows allocated
+// per call); "scratch" is the reusable-buffer bounded variant the
+// detector now uses. The perf acceptance for the allocation work is
+// measured here: scratch must cut allocs/op by ≥ 50% (it reaches 0).
+func BenchmarkPairComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	words := make([]string, 64)
+	for i := range words {
+		words[i] = randomText(rng, 2, 6)
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			LevenshteinSim(words[i%len(words)], words[(i+1)%len(words)])
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var s Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.LevenshteinSimBounded(words[i%len(words)], words[(i+1)%len(words)], 0.75)
+		}
+	})
+	for _, n := range []int{16, 64} {
+		x, y := randomWord(rng, n), randomWord(rng, n)
+		b.Run(fmt.Sprintf("scratch/len=%d", n), func(b *testing.B) {
+			var s Scratch
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.LevenshteinSimBounded(x, y, 0.75)
+			}
+		})
+	}
+}
