@@ -1,15 +1,24 @@
 # HumMer build / verify entry points.
 #
 #   make check   — everything CI needs: formatting, vet, build, tests,
-#                  and the perf-acceptance benchmarks in short mode.
+#                  the race detector on the parallel packages, the
+#                  coverage floor, and the perf-acceptance benchmarks
+#                  in short mode.
 #   make bench   — the full benchmark suite (longer).
 #   make fmt     — rewrite files with gofmt.
 
 GO ?= go
 
-.PHONY: check fmtcheck fmt vet build test bench bench-short
+# Packages with sharded worker pools: always exercised under -race.
+RACE_PKGS = ./internal/parshard ./internal/dupdetect ./internal/dumas
 
-check: fmtcheck vet build test bench-short
+# Packages held to the coverage floor (matching + detection core).
+COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
+COVER_FLOOR = 70
+
+.PHONY: check fmtcheck fmt vet build test race cover bench bench-short
+
+check: fmtcheck vet build test race cover bench-short
 
 fmtcheck:
 	@unformatted=$$(gofmt -l .); \
@@ -28,6 +37,27 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The parallel packages must be clean under the race detector: their
+# determinism guarantee is worthless if workers race.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Coverage floor: each core matching/detection package must keep at
+# least $(COVER_FLOOR)% statement coverage.
+cover:
+	@fail=0; \
+	for pkg in $(COVER_PKGS); do \
+		pct=$$($(GO) test -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "$$pkg: no coverage reported"; fail=1; continue; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{print (p >= f) ? 1 : 0}'); \
+		if [ "$$ok" = "1" ]; then \
+			echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		else \
+			echo "coverage $$pkg: $$pct% BELOW FLOOR $(COVER_FLOOR)%"; fail=1; \
+		fi; \
+	done; \
+	exit $$fail
 
 # The perf-acceptance benchmarks, one iteration each on small inputs:
 # proves the parallel path stays byte-identical and the hot path stays

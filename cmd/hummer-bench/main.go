@@ -55,13 +55,13 @@ func main() {
 	seed := flag.Int64("seed", 2005, "workload seed")
 	jsonOut := flag.Bool("json", false, "write a BENCH_<date>.json artifact")
 	outPath := flag.String("out", "", "artifact path (default BENCH_<date>.json)")
-	sizes := flag.String("sizes", "", "comma-separated input sizes for e12 (e.g. 1000,5000,20000)")
+	sizes := flag.String("sizes", "", "comma-separated input sizes for e12/e13 (e.g. 1000,5000,20000)")
 	flag.Parse()
 
 	// Flags that silently do nothing are a trap: reject meaningless
 	// combinations instead of producing a misleading run.
-	if *sizes != "" && strings.ToLower(*exp) != "e12" {
-		fmt.Fprintln(os.Stderr, "hummer-bench: -sizes only applies to -exp e12")
+	if id := strings.ToLower(*exp); *sizes != "" && id != "e12" && id != "e13" {
+		fmt.Fprintln(os.Stderr, "hummer-bench: -sizes only applies to -exp e12 or e13")
 		os.Exit(1)
 	}
 	if *outPath != "" && !*jsonOut {
@@ -89,13 +89,17 @@ func main() {
 	switch {
 	case *exp != "":
 		id := strings.ToLower(*exp)
-		if id == "e12" && *sizes != "" {
+		if (id == "e12" || id == "e13") && *sizes != "" {
 			ns, err := parseSizes(*sizes)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "hummer-bench:", err)
 				os.Exit(1)
 			}
-			run(func() *experiments.Report { return experiments.E12(*seed, ns) })
+			if id == "e12" {
+				run(func() *experiments.Report { return experiments.E12(*seed, ns) })
+			} else {
+				run(func() *experiments.Report { return experiments.E13(*seed, ns) })
+			}
 		} else {
 			run(func() *experiments.Report { return experiments.ByID(id, *seed) })
 		}

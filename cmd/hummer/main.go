@@ -20,6 +20,11 @@
 //	-window W            sorted-neighborhood candidate generation
 //	-block P             prefix-blocking candidate generation (P = prefix runes)
 //	-threshold T         duplicate similarity threshold (default 0.8)
+//	-match-parallel N    schema-matching worker goroutines
+//	                     (0 = GOMAXPROCS, 1 = sequential; identical results)
+//	-match-window W      sorted-neighborhood duplicate discovery for matching
+//	-match-qgrams Q      q-gram prefix blocking for matching (Q = gram length)
+//	-match-dups K        duplicates used for field-wise comparison (default 10)
 package main
 
 import (
@@ -62,6 +67,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	window := fs.Int("window", 0, "sorted-neighborhood window (0 = exhaustive pairing)")
 	block := fs.Int("block", 0, "prefix-blocking key length in runes (0 = off)")
 	threshold := fs.Float64("threshold", 0, "duplicate similarity threshold (0 = default 0.8)")
+	matchParallel := fs.Int("match-parallel", 0, "schema-matching workers (0 = GOMAXPROCS, 1 = sequential)")
+	matchWindow := fs.Int("match-window", 0, "schema-matching sorted-neighborhood window (0 = token index)")
+	matchQGrams := fs.Int("match-qgrams", 0, "schema-matching q-gram blocking gram length (0 = off)")
+	matchDups := fs.Int("match-dups", 0, "duplicates used for field-wise comparison (0 = default 10)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +81,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Window:      *window,
 		Blocking:    *block,
 		Parallelism: *parallel,
+	})
+	db.SetMatchConfig(hummer.MatchConfig{
+		MaxDuplicates: *matchDups,
+		Window:        *matchWindow,
+		QGrams:        *matchQGrams,
+		Parallelism:   *matchParallel,
 	})
 	for _, spec := range csvs {
 		alias, path, err := splitSpec(spec, "=")

@@ -38,6 +38,46 @@ func TestRunFuseQueryOverCSV(t *testing.T) {
 	}
 }
 
+// TestRunMatchFlags: the schema-matching knobs must reach the fusion
+// pipeline — same fused result, whatever strategy and worker count.
+func TestRunMatchFlags(t *testing.T) {
+	dir := t.TempDir()
+	ee := write(t, dir, "ee.csv", "Name,Age,City\nJonathan Smith,21,Berlin\nMaria Garcia,24,Hamburg\n")
+	cs := write(t, dir, "cs.csv", "FullName,Years,Town\nJonathan Smith,22,Berlin\n")
+	query := "SELECT Name, RESOLVE(Age, max) FUSE FROM ee, cs FUSE BY (Name) ORDER BY Name"
+	var want string
+	for i, extra := range [][]string{
+		nil,
+		{"-match-parallel", "2"},
+		{"-match-window", "5"},
+		{"-match-qgrams", "3", "-match-dups", "2"},
+	} {
+		args := append([]string{"-csv", "ee=" + ee, "-csv", "cs=" + cs, "-query", query}, extra...)
+		var out strings.Builder
+		if err := run(args, strings.NewReader(""), &out); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if i == 0 {
+			want = out.String()
+			if !strings.Contains(want, "Jonathan Smith") {
+				t.Fatalf("baseline output missing fused row:\n%s", want)
+			}
+			continue
+		}
+		if out.String() != want {
+			t.Errorf("%v changed the fused result:\nwant:\n%s\ngot:\n%s", extra, want, out.String())
+		}
+	}
+	// Conflicting strategies must surface the config error.
+	err := run([]string{
+		"-csv", "ee=" + ee, "-csv", "cs=" + cs,
+		"-match-window", "3", "-match-qgrams", "3", "-query", query,
+	}, strings.NewReader(""), &strings.Builder{})
+	if err == nil {
+		t.Error("-match-window with -match-qgrams accepted; want error")
+	}
+}
+
 func TestRunQueryFromStdin(t *testing.T) {
 	dir := t.TempDir()
 	f := write(t, dir, "t.csv", "a\n1\n2\n")

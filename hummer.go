@@ -68,6 +68,19 @@ type (
 	// Correspondence is one matched attribute pair proposed by schema
 	// matching.
 	Correspondence = dumas.Correspondence
+	// MatchResult is the full DUMAS schema-matching output:
+	// correspondences, the duplicate tuple pairs they were derived
+	// from, the averaged field-similarity matrix and discovery
+	// statistics.
+	MatchResult = dumas.Result
+	// MatchConfig tunes DUMAS schema matching: the number of
+	// duplicates used, similarity thresholds, candidate-generation
+	// strategy (token index by default, Window for sorted-neighborhood,
+	// QGrams for q-gram prefix blocking) and Parallelism (0 =
+	// GOMAXPROCS; the result is byte-identical at every worker count).
+	MatchConfig = dumas.Config
+	// MatchStats reports the candidate counts of a matching run.
+	MatchStats = dumas.Stats
 	// Detection is the duplicate-detection output (clusters, scored
 	// pairs, borderline cases, comparison statistics).
 	Detection = dupdetect.Result
@@ -178,11 +191,26 @@ func (db *DB) Query(sql string) (*Result, error) { return db.executor.Query(sql)
 // Fuse calls pass their own PipelineOptions.Detect instead.
 func (db *DB) SetDetectConfig(cfg DetectionConfig) { db.executor.Detect = cfg }
 
+// SetMatchConfig installs the default DUMAS schema-matching
+// configuration used by Query's fusion statements — the API and CLI
+// knob for the duplicate budget (MaxDuplicates), the candidate
+// strategy (Window / QGrams) and Parallelism. Fuse calls pass their
+// own PipelineOptions.Match instead.
+func (db *DB) SetMatchConfig(cfg MatchConfig) { db.executor.Match = cfg }
+
 // DetectDuplicates runs the duplicate-detection phase alone over a
 // relation — clusters, scored pairs and statistics without the full
 // fusion pipeline.
 func DetectDuplicates(rel *Relation, cfg DetectionConfig) (*Detection, error) {
 	return dupdetect.Detect(rel, cfg)
+}
+
+// MatchSchemas runs DUMAS instance-based schema matching alone over
+// two relations — attribute correspondences, the duplicate tuple pairs
+// they rest on, and the averaged field-similarity matrix, without the
+// full fusion pipeline.
+func MatchSchemas(left, right *Relation, cfg MatchConfig) (*MatchResult, error) {
+	return dumas.Match(left, right, cfg)
 }
 
 // Fuse runs the three-phase pipeline programmatically over the

@@ -19,12 +19,37 @@ type Pair struct {
 // matrix w (rows × cols). Pairs with non-positive weight are excluded
 // from the result: matching nothing is always allowed and weights are
 // similarities, so a zero-weight pairing carries no information.
+//
+// The input is taken as-is from similarity computations, so MaxWeight
+// is defensive about it: ragged rows are treated as padded with zeros
+// to the widest row, and non-finite weights (NaN, ±Inf) are treated as
+// 0 — no information. NaN in particular must never reach the Hungarian
+// solver: its comparisons are all false, which would stall the
+// augmenting-path search forever.
 func MaxWeight(w [][]float64) []Pair {
 	n := len(w)
 	if n == 0 {
 		return nil
 	}
-	m := len(w[0])
+	m := 0
+	for i := range w {
+		if len(w[i]) > m {
+			m = len(w[i])
+		}
+	}
+	if m == 0 {
+		return nil
+	}
+	weight := func(i, j int) float64 {
+		if j >= len(w[i]) {
+			return 0
+		}
+		x := w[i][j]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return x
+	}
 	// Pad to a square cost matrix for the Hungarian solver; padding
 	// cells have weight 0, i.e. "unmatched".
 	dim := n
@@ -36,8 +61,8 @@ func MaxWeight(w [][]float64) []Pair {
 	maxW := 0.0
 	for i := range w {
 		for j := range w[i] {
-			if w[i][j] > maxW {
-				maxW = w[i][j]
+			if x := weight(i, j); x > maxW {
+				maxW = x
 			}
 		}
 	}
@@ -46,7 +71,7 @@ func MaxWeight(w [][]float64) []Pair {
 		cost[i] = make([]float64, dim)
 		for j := range cost[i] {
 			if i < n && j < m {
-				cost[i][j] = maxW - w[i][j]
+				cost[i][j] = maxW - weight(i, j)
 			} else {
 				cost[i][j] = maxW
 			}
@@ -55,8 +80,8 @@ func MaxWeight(w [][]float64) []Pair {
 	rowOf := hungarian(cost)
 	var pairs []Pair
 	for j, i := range rowOf {
-		if i < n && j < m && w[i][j] > 0 {
-			pairs = append(pairs, Pair{Row: i, Col: j, Weight: w[i][j]})
+		if i < n && j < m && weight(i, j) > 0 {
+			pairs = append(pairs, Pair{Row: i, Col: j, Weight: weight(i, j)})
 		}
 	}
 	return pairs
@@ -134,7 +159,12 @@ func Greedy(w [][]float64) []Pair {
 	if n == 0 {
 		return nil
 	}
-	m := len(w[0])
+	m := 0
+	for i := range w {
+		if len(w[i]) > m {
+			m = len(w[i])
+		}
+	}
 	usedRow := make([]bool, n)
 	usedCol := make([]bool, m)
 	var pairs []Pair
@@ -144,12 +174,14 @@ func Greedy(w [][]float64) []Pair {
 			if usedRow[i] {
 				continue
 			}
-			for j := 0; j < m; j++ {
+			for j := 0; j < len(w[i]); j++ {
 				if usedCol[j] {
 					continue
 				}
-				if w[i][j] > bw {
-					bi, bj, bw = i, j, w[i][j]
+				// NaN compares false and is skipped naturally; ±Inf
+				// is "no information", matching MaxWeight's rule.
+				if x := w[i][j]; x > bw && !math.IsInf(x, 0) {
+					bi, bj, bw = i, j, x
 				}
 			}
 		}

@@ -1,0 +1,156 @@
+package assign
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// checkOneToOne asserts the matching is 1:1 and within the matrix
+// bounds.
+func checkOneToOne(t *testing.T, w [][]float64, pairs []Pair) {
+	t.Helper()
+	seenR, seenC := map[int]bool{}, map[int]bool{}
+	for _, p := range pairs {
+		if p.Row < 0 || p.Row >= len(w) {
+			t.Fatalf("pair %+v: row out of bounds", p)
+		}
+		if p.Col < 0 || p.Col >= len(w[p.Row]) {
+			t.Fatalf("pair %+v: col out of bounds for its row", p)
+		}
+		if seenR[p.Row] || seenC[p.Col] {
+			t.Fatalf("matching is not 1:1: %v", pairs)
+		}
+		seenR[p.Row] = true
+		seenC[p.Col] = true
+	}
+}
+
+// TestMaxWeightNoColumns: rows with no columns yield an empty matching
+// rather than panicking (the nil / single-empty-row cases live in
+// TestMaxWeightEmpty).
+func TestMaxWeightNoColumns(t *testing.T) {
+	if got := MaxWeight([][]float64{}); got != nil {
+		t.Errorf("MaxWeight(empty) = %v", got)
+	}
+	if got := MaxWeight([][]float64{{}, {}}); got != nil {
+		t.Errorf("MaxWeight(rows with no cols) = %v", got)
+	}
+}
+
+// TestMaxWeightWideAndTall: wide and tall matrices match min(rows,
+// cols) pairs at best, picking the heavy cells.
+func TestMaxWeightWideAndTall(t *testing.T) {
+	wide := [][]float64{
+		{0.1, 0.9, 0.2, 0.8},
+		{0.7, 0.1, 0.1, 0.2},
+	}
+	pairs := MaxWeight(wide)
+	checkOneToOne(t, wide, pairs)
+	if len(pairs) != 2 {
+		t.Fatalf("wide: got %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	if TotalWeight(pairs) < 0.9+0.7-1e-9 {
+		t.Errorf("wide: weight %v below optimum 1.6", TotalWeight(pairs))
+	}
+	tall := [][]float64{
+		{0.1, 0.9},
+		{0.7, 0.1},
+		{0.8, 0.85},
+	}
+	pairs = MaxWeight(tall)
+	checkOneToOne(t, tall, pairs)
+	if len(pairs) != 2 {
+		t.Fatalf("tall: got %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	if TotalWeight(pairs) < 0.9+0.8-1e-9 {
+		t.Errorf("tall: weight %v below optimum 1.7", TotalWeight(pairs))
+	}
+}
+
+// TestMaxWeightRagged: rows of different lengths are treated as
+// zero-padded, not a panic.
+func TestMaxWeightRagged(t *testing.T) {
+	w := [][]float64{
+		{0.9},
+		{0.2, 0.8, 0.3},
+		{},
+	}
+	pairs := MaxWeight(w)
+	checkOneToOne(t, w, pairs)
+	if TotalWeight(pairs) < 0.9+0.8-1e-9 {
+		t.Errorf("ragged: weight %v below optimum 1.7 (%v)", TotalWeight(pairs), pairs)
+	}
+	pairs = Greedy(w)
+	checkOneToOne(t, w, pairs)
+	if TotalWeight(pairs) < 0.9+0.8-1e-9 {
+		t.Errorf("greedy ragged: weight %v below optimum 1.7 (%v)", TotalWeight(pairs), pairs)
+	}
+}
+
+// TestMaxWeightNaN: NaN weights mean "no information" — they must
+// neither be matched nor (the old failure mode) stall the Hungarian
+// augmenting-path search forever.
+func TestMaxWeightNaN(t *testing.T) {
+	nan := math.NaN()
+	w := [][]float64{
+		{nan, 0.9, nan},
+		{0.8, nan, nan},
+		{nan, nan, nan},
+	}
+	done := make(chan []Pair, 1)
+	go func() { done <- MaxWeight(w) }()
+	var pairs []Pair
+	select {
+	case pairs = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("MaxWeight hung on NaN input")
+	}
+	checkOneToOne(t, w, pairs)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	for _, p := range pairs {
+		if math.IsNaN(w[p.Row][p.Col]) {
+			t.Errorf("matched a NaN cell: %+v", p)
+		}
+	}
+}
+
+// TestMaxWeightNonFinite: ±Inf is sanitized to 0 like NaN.
+func TestMaxWeightNonFinite(t *testing.T) {
+	w := [][]float64{
+		{math.Inf(1), 0.5},
+		{0.4, math.Inf(-1)},
+	}
+	for name, solve := range map[string]func([][]float64) []Pair{"hungarian": MaxWeight, "greedy": Greedy} {
+		pairs := solve(w)
+		checkOneToOne(t, w, pairs)
+		for _, p := range pairs {
+			if math.IsInf(w[p.Row][p.Col], 0) {
+				t.Errorf("%s matched an infinite cell: %+v", name, p)
+			}
+		}
+		if TotalWeight(pairs) < 0.5+0.4-1e-9 {
+			t.Errorf("%s weight %v below optimum 0.9 (%v)", name, TotalWeight(pairs), pairs)
+		}
+	}
+}
+
+// TestMaxWeightNegative: negative weights are worse than staying
+// unmatched and must never appear in the result.
+func TestMaxWeightNegative(t *testing.T) {
+	w := [][]float64{
+		{-0.5, 0.9},
+		{-0.2, -0.8},
+	}
+	pairs := MaxWeight(w)
+	checkOneToOne(t, w, pairs)
+	if len(pairs) != 1 || pairs[0].Weight != 0.9 {
+		t.Fatalf("want only the 0.9 cell matched, got %v", pairs)
+	}
+	all := [][]float64{{-1, -2}, {-3, -4}}
+	if pairs := MaxWeight(all); len(pairs) != 0 {
+		t.Errorf("all-negative matrix matched %v", pairs)
+	}
+}

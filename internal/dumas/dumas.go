@@ -10,6 +10,27 @@
 // matrices, computes a maximum-weight bipartite matching over the
 // averaged matrix, and prunes correspondences below a threshold,
 // yielding 1:1 attribute correspondences.
+//
+// # Candidate generation
+//
+// Which cross-relation tuple pairs are scored during duplicate
+// discovery is decided by one of three strategies (see candidates.go):
+// the inverted token index (the default — exhaustive recall, since
+// pairs sharing no token score 0), sorted neighborhood over the
+// whole-tuple sort keys (Config.Window > 0), and q-gram prefix
+// blocking (Config.QGrams > 0).
+//
+// # Parallelism and determinism
+//
+// Config.Parallelism sets the number of worker goroutines (0 means
+// GOMAXPROCS, 1 forces sequential). Three phases shard across the
+// parshard worker pool: the per-tuple precomputation (tokenizing,
+// corpus statistics, TFIDF term vectors), the candidate-pair scoring,
+// and the per-cell averaging of the field-similarity matrix. All
+// similarity math runs over sorted term vectors with deterministic
+// float accumulation, so the Result — correspondences, duplicates,
+// matrix, statistics — is byte-identical at every worker count:
+// parallelism is purely a wall-clock knob.
 package dumas
 
 import (
@@ -18,6 +39,7 @@ import (
 	"strings"
 
 	"hummer/internal/assign"
+	"hummer/internal/parshard"
 	"hummer/internal/relation"
 	"hummer/internal/strsim"
 	"hummer/internal/value"
@@ -36,6 +58,24 @@ type Config struct {
 	// Threshold prunes attribute correspondences whose averaged
 	// field similarity falls below it; default 0.35.
 	Threshold float64
+	// Window, when positive, switches duplicate discovery from the
+	// full-recall token index to the sorted-neighborhood method: left
+	// and right tuples are merged into one order by their whole-tuple
+	// sort key and only cross-relation tuples within the window are
+	// scored. Near-linear cost, trading recall on far-sorting
+	// duplicates. Mutually exclusive with QGrams.
+	Window int
+	// QGrams, when positive, switches duplicate discovery to q-gram
+	// prefix blocking with grams of this length: tuples sharing any
+	// q-gram of their sort-key prefix are scored. Robust to typos
+	// inside the prefix, unlike plain prefix blocking. Mutually
+	// exclusive with Window.
+	QGrams int
+	// Parallelism is the number of worker goroutines sharding the
+	// precomputation, pair scoring and field-matrix averaging: 0 means
+	// GOMAXPROCS, 1 forces the sequential path. The Result is
+	// byte-identical at every worker count.
+	Parallelism int
 }
 
 // Default returns the paper-faithful configuration.
@@ -57,6 +97,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// validate rejects meaningless strategy combinations.
+func (c Config) validate() error {
+	if c.Window > 0 && c.QGrams > 0 {
+		return fmt.Errorf("dumas: Window and QGrams are mutually exclusive candidate strategies")
+	}
+	return nil
+}
+
 // TuplePair is one presumed duplicate found during the discovery step.
 type TuplePair struct {
 	LeftRow, RightRow int
@@ -70,6 +118,15 @@ type Correspondence struct {
 	Score             float64
 }
 
+// Stats reports the work the discovery step performed.
+type Stats struct {
+	// CandidatePairs is the number of cross-relation tuple pairs the
+	// candidate strategy proposed for scoring.
+	CandidatePairs int
+	// Scored is how many of them reached MinTupleSim.
+	Scored int
+}
+
 // Result carries the output of matching two relations.
 type Result struct {
 	// Correspondences are the pruned 1:1 attribute matches, ordered
@@ -81,22 +138,28 @@ type Result struct {
 	// (left attrs × right attrs), exposed for the demo's
 	// "adjust matching" wizard step and for diagnostics.
 	Matrix [][]float64
+	// Stats reports candidate counts from duplicate discovery.
+	Stats Stats
 }
 
 // Match derives attribute correspondences between two unaligned
 // relations. It returns an error when either relation is empty —
-// instance-based matching has nothing to work with then.
+// instance-based matching has nothing to work with then — or when the
+// configuration selects conflicting candidate strategies.
 func Match(left, right *relation.Relation, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if left.Len() == 0 || right.Len() == 0 {
 		return nil, fmt.Errorf("dumas: relation %q or %q is empty; instance-based matching needs rows",
 			left.Name(), right.Name())
 	}
-	dups := FindDuplicates(left, right, cfg.MaxDuplicates, cfg.MinTupleSim)
+	dups, stats := findDuplicates(left, right, cfg)
 	if len(dups) == 0 {
-		return &Result{}, nil
+		return &Result{Stats: stats}, nil
 	}
-	matrix := averagedFieldMatrix(left, right, dups)
+	matrix := averagedFieldMatrix(left, right, dups, parshard.Workers(cfg.Parallelism))
 	pairs := assign.MaxWeight(matrix)
 	var corrs []Correspondence
 	for _, p := range pairs {
@@ -111,8 +174,13 @@ func Match(left, right *relation.Relation, cfg Config) (*Result, error) {
 			Score:    p.Weight,
 		})
 	}
-	sort.Slice(corrs, func(i, j int) bool { return corrs[i].Score > corrs[j].Score })
-	return &Result{Correspondences: corrs, Duplicates: dups, Matrix: matrix}, nil
+	sort.Slice(corrs, func(i, j int) bool {
+		if corrs[i].Score != corrs[j].Score {
+			return corrs[i].Score > corrs[j].Score
+		}
+		return corrs[i].LeftIdx < corrs[j].LeftIdx
+	})
+	return &Result{Correspondences: corrs, Duplicates: dups, Matrix: matrix, Stats: stats}, nil
 }
 
 // tupleText renders a whole tuple as one string, DUMAS's
@@ -127,63 +195,140 @@ func tupleText(row relation.Row) string {
 	return strings.Join(parts, " ")
 }
 
-// FindDuplicates performs the duplicate-discovery step: rank cross-
-// table tuple pairs by whole-tuple TFIDF similarity and return the top
-// maxDups pairs above minSim. Candidate pairs are generated through an
-// inverted token index so that only pairs sharing at least one token
-// are scored (the "efficient" part of DUMAS).
+// FindDuplicates performs the duplicate-discovery step with the
+// default (token index) candidate strategy: rank cross-table tuple
+// pairs by whole-tuple TFIDF similarity and return the top maxDups
+// pairs above minSim.
 //
 // Each left and right tuple participates in at most one returned pair:
 // a real-world entity should contribute one aligned observation, and
 // reusing a tuple would bias the averaged field matrix toward it.
 func FindDuplicates(left, right *relation.Relation, maxDups int, minSim float64) []TuplePair {
+	dups, _ := findDuplicates(left, right, Config{MaxDuplicates: maxDups, MinTupleSim: minSim})
+	return dups
+}
+
+// precomputeMinRows is the smallest input the per-tuple precomputation
+// bothers to shard; below it goroutine startup dominates.
+const precomputeMinRows = 128
+
+// pairChunk is the number of candidate pairs per scoring work unit.
+const pairChunk = parshard.DefaultChunk
+
+// scoreShard is one chunk's (or the whole sequential run's) scoring
+// output.
+type scoreShard struct {
+	stats Stats
+	pairs []TuplePair
+}
+
+// findDuplicates is the full discovery step: sharded per-tuple
+// precomputation, candidate generation in canonical order, sharded
+// pair scoring, and the deterministic ranked 1:1 top-k selection.
+// cfg must have passed validation; MaxDuplicates and MinTupleSim are
+// honored exactly as given (the exported FindDuplicates deliberately
+// passes raw values to keep its historical parameter semantics, e.g.
+// minSim = 0 keeping every candidate).
+func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, Stats) {
+	nl, nr := left.Len(), right.Len()
+	workers := parshard.Workers(cfg.Parallelism)
+	preWorkers := workers
+	if nl+nr < precomputeMinRows {
+		preWorkers = 1
+	}
+
+	// Precompute, row-sharded: render and tokenize every tuple once
+	// and build the shared corpus from per-shard corpora folded in
+	// shard order (the counts merge commutatively, so the corpus is
+	// byte-identical to a sequential build). The rendered texts are
+	// kept so the key-based candidate strategies don't re-render them.
+	leftTexts := make([]string, nl)
+	rightTexts := make([]string, nr)
+	leftTokens := make([][]string, nl)
+	rightTokens := make([][]string, nr)
+	tokenizeSide := func(rel *relation.Relation, texts []string, tokens [][]string) []*strsim.Corpus {
+		shards := make([]*strsim.Corpus, preWorkers)
+		parshard.Ranges(preWorkers, rel.Len(), func(s, lo, hi int) {
+			c := strsim.NewCorpus()
+			shards[s] = c
+			for i := lo; i < hi; i++ {
+				texts[i] = tupleText(rel.Row(i))
+				tokens[i] = strsim.Tokenize(texts[i])
+				c.AddDoc(tokens[i])
+			}
+		})
+		return shards
+	}
+	leftShards := tokenizeSide(left, leftTexts, leftTokens)
+	rightShards := tokenizeSide(right, rightTexts, rightTokens)
 	corpus := strsim.NewCorpus()
-	leftTokens := make([][]string, left.Len())
-	rightTokens := make([][]string, right.Len())
-	for i := 0; i < left.Len(); i++ {
-		leftTokens[i] = strsim.Tokenize(tupleText(left.Row(i)))
-		corpus.AddDoc(leftTokens[i])
-	}
-	for i := 0; i < right.Len(); i++ {
-		rightTokens[i] = strsim.Tokenize(tupleText(right.Row(i)))
-		corpus.AddDoc(rightTokens[i])
-	}
-	leftVecs := make([]strsim.Vector, left.Len())
-	for i, toks := range leftTokens {
-		leftVecs[i] = corpus.TFIDFVector(toks)
-	}
-	rightVecs := make([]strsim.Vector, right.Len())
-	for i, toks := range rightTokens {
-		rightVecs[i] = corpus.TFIDFVector(toks)
-	}
-
-	// Inverted index over right tuples: token → tuple ids.
-	index := map[string][]int{}
-	for i, toks := range rightTokens {
-		seen := map[string]bool{}
-		for _, t := range toks {
-			if !seen[t] {
-				seen[t] = true
-				index[t] = append(index[t], i)
-			}
+	for _, c := range append(leftShards, rightShards...) {
+		if c != nil {
+			corpus.Merge(c)
 		}
 	}
 
-	var pairs []TuplePair
-	for li, toks := range leftTokens {
-		cands := map[int]bool{}
-		for _, t := range toks {
-			for _, ri := range index[t] {
-				cands[ri] = true
-			}
+	// TFIDF term vectors per tuple, row-sharded over the now read-only
+	// corpus. Sorted term vectors make every later dot product
+	// allocation-free and deterministic in float accumulation order.
+	leftVecs := make([]strsim.TermVec, nl)
+	rightVecs := make([]strsim.TermVec, nr)
+	parshard.Ranges(preWorkers, nl, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			leftVecs[i] = corpus.TermVec(leftTokens[i])
 		}
-		for ri := range cands {
-			sim := strsim.Cosine(leftVecs[li], rightVecs[ri])
-			if sim >= minSim {
-				pairs = append(pairs, TuplePair{LeftRow: li, RightRow: ri, Sim: sim})
-			}
+	})
+	parshard.Ranges(preWorkers, nr, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rightVecs[i] = corpus.TermVec(rightTokens[i])
+		}
+	})
+
+	// Sort keys are only materialized when a key-based candidate
+	// strategy asks for them, from the already-rendered tuple texts.
+	keysOf := func(texts []string) func() []string {
+		return func() []string {
+			keys := make([]string, len(texts))
+			parshard.Ranges(preWorkers, len(texts), func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					keys[i] = sortKey(texts[i])
+				}
+			})
+			return keys
 		}
 	}
+	gen := candidateGen(cfg, leftTokens, rightTokens, keysOf(leftTexts), keysOf(rightTexts))
+
+	// Score the candidate stream across the worker pool. Tiny inputs
+	// fit in a single chunk; the pool would only add overhead.
+	scoreWorkers := workers
+	if nl*nr <= pairChunk {
+		scoreWorkers = 1
+	}
+	minSim := cfg.MinTupleSim
+	out := parshard.Run(scoreWorkers, pairChunk,
+		parshard.Gen[[2]int](func(yield func([2]int) bool) {
+			gen(func(li, ri int) bool { return yield([2]int{li, ri}) })
+		}),
+		func() func([2]int, *scoreShard) {
+			return func(p [2]int, out *scoreShard) {
+				out.stats.CandidatePairs++
+				sim := strsim.DotTermVecs(leftVecs[p[0]], rightVecs[p[1]])
+				if sim >= minSim {
+					out.stats.Scored++
+					out.pairs = append(out.pairs, TuplePair{LeftRow: p[0], RightRow: p[1], Sim: sim})
+				}
+			}
+		},
+		func(into *scoreShard, chunk scoreShard) {
+			into.stats.CandidatePairs += chunk.stats.CandidatePairs
+			into.stats.Scored += chunk.stats.Scored
+			into.pairs = append(into.pairs, chunk.pairs...)
+		})
+
+	// Rank by similarity (ties broken by row ids: a total order, so
+	// the selection is deterministic) and pick the top pairs 1:1.
+	pairs := out.pairs
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i].Sim != pairs[j].Sim {
 			return pairs[i].Sim > pairs[j].Sim
@@ -193,11 +338,11 @@ func FindDuplicates(left, right *relation.Relation, maxDups int, minSim float64)
 		}
 		return pairs[i].RightRow < pairs[j].RightRow
 	})
-	usedL := map[int]bool{}
-	usedR := map[int]bool{}
+	usedL := make(map[int]bool, cfg.MaxDuplicates)
+	usedR := make(map[int]bool, cfg.MaxDuplicates)
 	var top []TuplePair
 	for _, p := range pairs {
-		if len(top) >= maxDups {
+		if len(top) >= cfg.MaxDuplicates {
 			break
 		}
 		if usedL[p.LeftRow] || usedR[p.RightRow] {
@@ -207,76 +352,109 @@ func FindDuplicates(left, right *relation.Relation, maxDups int, minSim float64)
 		usedR[p.RightRow] = true
 		top = append(top, p)
 	}
-	return top
+	return top, out.stats
 }
 
 // averagedFieldMatrix compares each duplicate pair field-wise with
 // SoftTFIDF and averages the matrices, as in DUMAS. The corpus for
-// SoftTFIDF's IDF weights is built per attribute pair from the two
-// columns' values.
-func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair) [][]float64 {
+// SoftTFIDF's IDF weights is built (row-sharded) from the two
+// relations' cell values; the nl×nr cells of the averaged matrix are
+// then computed across the worker pool, each worker owning a
+// strsim.Scratch for the inner Jaro-Winkler comparisons. Each cell
+// accumulates its duplicate-pair sum in pair order, so the matrix is
+// byte-identical at every worker count.
+func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair, workers int) [][]float64 {
 	nl, nr := left.Schema().Len(), right.Schema().Len()
 
-	// Column corpora: token statistics per column, so that IDF
-	// reflects how identifying a token is within its attribute.
-	colCorpus := strsim.NewCorpus()
-	for i := 0; i < left.Len(); i++ {
-		for _, v := range left.Row(i) {
-			if !v.IsNull() {
-				colCorpus.AddText(v.Text())
+	// Column corpora: token statistics over all cell values, so that
+	// IDF reflects how identifying a token is within the data.
+	preWorkers := workers
+	if left.Len()+right.Len() < precomputeMinRows {
+		preWorkers = 1
+	}
+	corpusOf := func(rel *relation.Relation) []*strsim.Corpus {
+		shards := make([]*strsim.Corpus, preWorkers)
+		parshard.Ranges(preWorkers, rel.Len(), func(s, lo, hi int) {
+			c := strsim.NewCorpus()
+			shards[s] = c
+			for i := lo; i < hi; i++ {
+				for _, v := range rel.Row(i) {
+					if !v.IsNull() {
+						c.AddText(v.Text())
+					}
+				}
 			}
+		})
+		return shards
+	}
+	colCorpus := strsim.NewCorpus()
+	for _, c := range append(corpusOf(left), corpusOf(right)...) {
+		if c != nil {
+			colCorpus.Merge(c)
 		}
 	}
-	for i := 0; i < right.Len(); i++ {
-		for _, v := range right.Row(i) {
+
+	// Term vectors of every cell participating in a duplicate pair
+	// (at most MaxDuplicates rows per side — cheap, and it keeps the
+	// expensive SoftTFIDF inner loop allocation-free).
+	ltv := make([][]strsim.TermVec, len(dups))
+	rtv := make([][]strsim.TermVec, len(dups))
+	for d, dp := range dups {
+		ltv[d] = make([]strsim.TermVec, nl)
+		rtv[d] = make([]strsim.TermVec, nr)
+		for i, v := range left.Row(dp.LeftRow) {
 			if !v.IsNull() {
-				colCorpus.AddText(v.Text())
+				ltv[d][i] = colCorpus.TermVec(strsim.Tokenize(v.Text()))
+			}
+		}
+		for j, v := range right.Row(dp.RightRow) {
+			if !v.IsNull() {
+				rtv[d][j] = colCorpus.TermVec(strsim.Tokenize(v.Text()))
 			}
 		}
 	}
 
-	sum := make([][]float64, nl)
-	cnt := make([][]int, nl)
-	for i := range sum {
-		sum[i] = make([]float64, nr)
-		cnt[i] = make([]int, nr)
+	avg := make([][]float64, nl)
+	for i := range avg {
+		avg[i] = make([]float64, nr)
 	}
-	for _, d := range dups {
-		lrow, rrow := left.Row(d.LeftRow), right.Row(d.RightRow)
-		for i := 0; i < nl; i++ {
-			for j := 0; j < nr; j++ {
-				lv, rv := lrow[i], rrow[j]
+	// One matrix cell per work item: cells are independent, and the
+	// per-cell sum runs over dups in pair order regardless of which
+	// worker owns the cell.
+	parshard.Ranges(workers, nl*nr, func(_, lo, hi int) {
+		var sc strsim.Scratch
+		for cell := lo; cell < hi; cell++ {
+			i, j := cell/nr, cell%nr
+			var sum float64
+			cnt := 0
+			for d, dp := range dups {
+				lv, rv := left.Row(dp.LeftRow)[i], right.Row(dp.RightRow)[j]
 				// NULL on either side gives no evidence for or
 				// against the correspondence; skip the cell.
 				if lv.IsNull() || rv.IsNull() {
 					continue
 				}
-				sum[i][j] += fieldSim(colCorpus, lv, rv)
-				cnt[i][j]++
+				sum += fieldSim(colCorpus, &sc, lv, rv, ltv[d][i], rtv[d][j])
+				cnt++
+			}
+			if cnt > 0 {
+				avg[i][j] = sum / float64(cnt)
 			}
 		}
-	}
-	avg := make([][]float64, nl)
-	for i := range avg {
-		avg[i] = make([]float64, nr)
-		for j := range avg[i] {
-			if cnt[i][j] > 0 {
-				avg[i][j] = sum[i][j] / float64(cnt[i][j])
-			}
-		}
-	}
+	})
 	return avg
 }
 
 // fieldSim compares two non-null field values: numerics by relative
-// distance, everything else by SoftTFIDF over the value texts.
-func fieldSim(c *strsim.Corpus, a, b value.Value) float64 {
+// distance, everything else by SoftTFIDF over the values' prebuilt
+// term vectors.
+func fieldSim(c *strsim.Corpus, sc *strsim.Scratch, a, b value.Value, va, vb strsim.TermVec) float64 {
 	if af, ok := a.AsFloat(); ok {
 		if bf, ok := b.AsFloat(); ok {
 			return strsim.NumericSim(af, bf)
 		}
 	}
-	return c.SoftTFIDF(a.Text(), b.Text())
+	return c.SoftTFIDFTermVecs(sc, va, vb)
 }
 
 // NaiveMatch is the D1 ablation baseline: match columns directly by
@@ -306,12 +484,16 @@ func NaiveMatch(left, right *relation.Relation, threshold float64) *Result {
 		rightCols[j] = colText(right, j)
 		corpus.AddDoc(rightCols[j])
 	}
+	rightVecs := make([]strsim.TermVec, nr)
+	for j := range rightVecs {
+		rightVecs[j] = corpus.TermVec(rightCols[j])
+	}
 	matrix := make([][]float64, nl)
 	for i := range matrix {
 		matrix[i] = make([]float64, nr)
-		vi := corpus.TFIDFVector(leftCols[i])
+		vi := corpus.TermVec(leftCols[i])
 		for j := range matrix[i] {
-			matrix[i][j] = strsim.Cosine(vi, corpus.TFIDFVector(rightCols[j]))
+			matrix[i][j] = strsim.DotTermVecs(vi, rightVecs[j])
 		}
 	}
 	pairs := assign.MaxWeight(matrix)
@@ -328,6 +510,11 @@ func NaiveMatch(left, right *relation.Relation, threshold float64) *Result {
 			Score:    p.Weight,
 		})
 	}
-	sort.Slice(corrs, func(i, j int) bool { return corrs[i].Score > corrs[j].Score })
+	sort.Slice(corrs, func(i, j int) bool {
+		if corrs[i].Score != corrs[j].Score {
+			return corrs[i].Score > corrs[j].Score
+		}
+		return corrs[i].LeftIdx < corrs[j].LeftIdx
+	})
 	return &Result{Correspondences: corrs, Matrix: matrix}
 }

@@ -45,6 +45,7 @@ import (
 	"sort"
 	"strings"
 
+	"hummer/internal/parshard"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
 	"hummer/internal/strsim"
@@ -345,6 +346,60 @@ type runeCounts []runeCount
 // must actually compare to earn full confidence.
 const evidenceFraction = 0.3
 
+// measureShardMinRows is the smallest input the measure precomputation
+// bothers to shard: below it, goroutine startup would cost more than
+// the normalization work itself.
+const measureShardMinRows = 128
+
+// colAgg is one shard's cross-row reduction state, one instance per
+// attribute: corpus statistics, distinct-value sets, non-null counts,
+// numeric bounds. Every field merges commutatively (count sums, set
+// unions, min/max), so folding per-shard aggregates reproduces the
+// sequential aggregates exactly regardless of shard count.
+type colAgg struct {
+	corpora  []*strsim.Corpus
+	distinct []map[uint64]bool
+	nonNull  []int
+	mins     []float64
+	maxs     []float64
+	haveNum  []bool
+}
+
+func newColAgg(cols int) *colAgg {
+	a := &colAgg{
+		corpora:  make([]*strsim.Corpus, cols),
+		distinct: make([]map[uint64]bool, cols),
+		nonNull:  make([]int, cols),
+		mins:     make([]float64, cols),
+		maxs:     make([]float64, cols),
+		haveNum:  make([]bool, cols),
+	}
+	for k := range a.corpora {
+		a.corpora[k] = strsim.NewCorpus()
+		a.distinct[k] = map[uint64]bool{}
+	}
+	return a
+}
+
+func (a *colAgg) merge(o *colAgg) {
+	for k := range a.corpora {
+		a.corpora[k].Merge(o.corpora[k])
+		for h := range o.distinct[k] {
+			a.distinct[k][h] = true
+		}
+		a.nonNull[k] += o.nonNull[k]
+		if o.haveNum[k] {
+			if !a.haveNum[k] || o.mins[k] < a.mins[k] {
+				a.mins[k] = o.mins[k]
+			}
+			if !a.haveNum[k] || o.maxs[k] > a.maxs[k] {
+				a.maxs[k] = o.maxs[k]
+			}
+			a.haveNum[k] = true
+		}
+	}
+}
+
 func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 	n := rel.Len()
 	m := &measure{rel: rel, cols: cols, cfg: cfg}
@@ -356,89 +411,98 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 	m.isNum = make([][]bool, n)
 	m.null = make([][]bool, n)
 	m.ranges = make([]float64, len(cols))
-	mins := make([]float64, len(cols))
-	maxs := make([]float64, len(cols))
-	haveNum := make([]bool, len(cols))
 
-	// Identifying power: a corpus per attribute over that column's
-	// values ("soft version of IDF", criterion iii), combined with the
-	// attribute's distinctness — an attribute with near-unique values
-	// (a title, an email) identifies entities far better than one
-	// drawn from a small domain (a label, a city), so agreement or
-	// contradiction on it should weigh more.
-	corpora := make([]*strsim.Corpus, len(cols))
-	distinct := make([]map[uint64]bool, len(cols))
-	nonNull := make([]int, len(cols))
-	for k := range cols {
-		corpora[k] = strsim.NewCorpus()
-		distinct[k] = map[uint64]bool{}
+	workers := parshard.Workers(cfg.Parallelism)
+	if n < measureShardMinRows {
+		workers = 1
 	}
 
-	// Pass 1: normalize every cell once and derive all per-cell state.
-	var sortBuf []rune
-	for i := 0; i < n; i++ {
-		m.texts[i] = make([]string, len(cols))
-		m.runes[i] = make([][]rune, len(cols))
-		m.counts[i] = make([]runeCounts, len(cols))
-		m.weights[i] = make([]float64, len(cols))
-		m.nums[i] = make([]float64, len(cols))
-		m.isNum[i] = make([]bool, len(cols))
-		m.null[i] = make([]bool, len(cols))
-		for k, j := range cols {
-			v := rel.Row(i)[j]
-			if v.IsNull() {
-				m.null[i][k] = true
-				continue
-			}
-			txt := strings.ToLower(v.Text())
-			m.texts[i][k] = txt
-			m.runes[i][k] = []rune(txt)
-			m.counts[i][k], sortBuf = countRunes(m.runes[i][k], sortBuf)
-			corpora[k].AddText(txt)
-			distinct[k][v.Hash()] = true
-			nonNull[k]++
-			if f, ok := v.AsFloat(); ok {
-				m.nums[i][k] = f
-				m.isNum[i][k] = true
-				if !haveNum[k] || f < mins[k] {
-					mins[k] = f
+	// Pass 1, row-sharded: normalize every cell once and derive all
+	// per-cell state. Workers write disjoint row slots of the per-cell
+	// arrays and accumulate the cross-row statistics — identifying-
+	// power corpora ("soft version of IDF", criterion iii), distinct-
+	// value sets, numeric bounds — into shard-local aggregates that
+	// fold commutatively afterwards, so the measure is byte-identical
+	// at every worker count.
+	aggs := make([]*colAgg, workers)
+	parshard.Ranges(workers, n, func(shard, lo, hi int) {
+		agg := newColAgg(len(cols))
+		aggs[shard] = agg
+		var sortBuf []rune
+		for i := lo; i < hi; i++ {
+			m.texts[i] = make([]string, len(cols))
+			m.runes[i] = make([][]rune, len(cols))
+			m.counts[i] = make([]runeCounts, len(cols))
+			m.weights[i] = make([]float64, len(cols))
+			m.nums[i] = make([]float64, len(cols))
+			m.isNum[i] = make([]bool, len(cols))
+			m.null[i] = make([]bool, len(cols))
+			for k, j := range cols {
+				v := rel.Row(i)[j]
+				if v.IsNull() {
+					m.null[i][k] = true
+					continue
 				}
-				if !haveNum[k] || f > maxs[k] {
-					maxs[k] = f
+				txt := strings.ToLower(v.Text())
+				m.texts[i][k] = txt
+				m.runes[i][k] = []rune(txt)
+				m.counts[i][k], sortBuf = countRunes(m.runes[i][k], sortBuf)
+				agg.corpora[k].AddText(txt)
+				agg.distinct[k][v.Hash()] = true
+				agg.nonNull[k]++
+				if f, ok := v.AsFloat(); ok {
+					m.nums[i][k] = f
+					m.isNum[i][k] = true
+					if !agg.haveNum[k] || f < agg.mins[k] {
+						agg.mins[k] = f
+					}
+					if !agg.haveNum[k] || f > agg.maxs[k] {
+						agg.maxs[k] = f
+					}
+					agg.haveNum[k] = true
 				}
-				haveNum[k] = true
 			}
+		}
+	})
+	total := newColAgg(len(cols))
+	for _, agg := range aggs {
+		if agg != nil {
+			total.merge(agg)
 		}
 	}
 	for k := range cols {
-		if haveNum[k] {
-			m.ranges[k] = maxs[k] - mins[k]
+		if total.haveNum[k] {
+			m.ranges[k] = total.maxs[k] - total.mins[k]
 		}
 	}
 
-	// Pass 2: weights need the complete corpora and distinctness.
+	// Pass 2, row-sharded: weights need the complete corpora and
+	// distinctness; both are read-only now and each weight cell is
+	// written by exactly one shard.
 	distinctness := make([]float64, len(cols))
 	for k := range cols {
-		if nonNull[k] > 0 {
-			distinctness[k] = float64(len(distinct[k])) / float64(nonNull[k])
+		if total.nonNull[k] > 0 {
+			distinctness[k] = float64(len(total.distinct[k])) / float64(total.nonNull[k])
 		}
 	}
-	for i := 0; i < n; i++ {
-		for k := range cols {
-			if !m.null[i][k] {
-				m.weights[i][k] = identifyingPower(corpora[k], m.texts[i][k]) *
-					(0.25 + 0.75*distinctness[k])
+	parshard.Ranges(workers, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for k := range cols {
+				if !m.null[i][k] {
+					m.weights[i][k] = identifyingPower(total.corpora[k], m.texts[i][k]) *
+						(0.25 + 0.75*distinctness[k])
+				}
 			}
 		}
-	}
+	})
 	if n > 0 {
-		var total float64
+		var sum float64
 		for i := 0; i < n; i++ {
 			for k := range cols {
-				total += m.weights[i][k] // zero for NULL cells
+				sum += m.weights[i][k] // zero for NULL cells
 			}
 		}
-		m.avgRowWeight = total / float64(n)
+		m.avgRowWeight = sum / float64(n)
 	}
 	return m
 }

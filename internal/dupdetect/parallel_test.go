@@ -77,6 +77,33 @@ func TestParallelDeterministicLargerThanChunk(t *testing.T) {
 	}
 }
 
+// TestShardedMeasureDeterministic forces a table large enough to
+// engage the row-sharded measure precomputation (n >= 128) and checks
+// the full Result — whose similarities depend on the sharded corpus,
+// distinctness and numeric-range aggregation — stays byte-identical
+// across worker counts.
+func TestShardedMeasureDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rel := randomDirtyTable(rng)
+	for rel.Len() < 2*measureShardMinRows {
+		more := randomDirtyTable(rng)
+		for i := 0; i < more.Len(); i++ {
+			rel.MustAppend(more.Row(i))
+		}
+	}
+	seq, err := Detect(rel, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 7} {
+		par, err := Detect(rel, Config{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, fmt.Sprintf("p=%d", p), seq, par)
+	}
+}
+
 // TestDefaultParallelismMatchesSequential: Parallelism = 0 (GOMAXPROCS
 // workers, the pipeline default) must equal the sequential result too.
 func TestDefaultParallelismMatchesSequential(t *testing.T) {

@@ -1,35 +1,25 @@
 package dupdetect
 
 import (
-	"runtime"
-	"sort"
-	"sync"
-
+	"hummer/internal/parshard"
 	"hummer/internal/strsim"
 )
 
-// Sharded pair scoring. The candidate stream is cut into fixed-size
-// chunks; workers score chunks concurrently, each with its own
-// strsim.Scratch and its own Stats / scored-pair buffers; the
-// per-chunk results are merged back in chunk order. Because chunk
-// boundaries and the within-chunk order are functions of the canonical
-// pair order alone, the merged Result is byte-identical to the
-// sequential path at any worker count.
+// Sharded pair scoring, built on the shared parshard worker pool. The
+// candidate stream is cut into fixed-size chunks; workers score chunks
+// concurrently, each with its own strsim.Scratch and its own Stats /
+// scored-pair buffers; the per-chunk results are folded back in chunk
+// order. Because chunk boundaries and the within-chunk order are
+// functions of the canonical pair order alone, the merged Result is
+// byte-identical to the sequential path at any worker count (the
+// parshard determinism contract).
 
-// pairChunkSize is the number of candidate pairs per work unit. Large
-// enough to amortize channel traffic, small enough to keep all workers
-// busy on mid-sized inputs.
-const pairChunkSize = 1024
-
-type pairChunk struct {
-	idx   int
-	pairs [][2]int
-}
+// pairChunkSize is the number of candidate pairs per work unit.
+const pairChunkSize = parshard.DefaultChunk
 
 // shardResult is one chunk's (or the whole sequential run's) scoring
 // output.
 type shardResult struct {
-	idx        int
 	stats      Stats
 	dups       []ScoredPair
 	borderline []ScoredPair
@@ -63,89 +53,25 @@ func (ps *pairScorer) score(a, b int, out *shardResult) {
 // goroutines (0 = GOMAXPROCS) and returns the merged, canonically
 // ordered scoring output.
 func scorePairs(m *measure, cfg Config, gen pairGen) shardResult {
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := parshard.Workers(cfg.Parallelism)
 	// Tiny inputs fit in a single chunk; the pool would only add
 	// scheduling overhead (the result is identical either way).
 	if n := len(m.texts); workers > 1 && n*(n-1)/2 <= pairChunkSize {
 		workers = 1
 	}
-	if workers == 1 {
-		ps := &pairScorer{m: m, cfg: cfg}
-		var out shardResult
-		gen(func(a, b int) bool {
-			ps.score(a, b, &out)
-			return true
-		})
-		return out
-	}
-
-	jobs := make(chan pairChunk, workers)
-	results := make(chan shardResult, workers)
-	bufPool := sync.Pool{New: func() any {
-		buf := make([][2]int, 0, pairChunkSize)
-		return &buf
-	}}
-
-	// Generator: stream the canonical pair order into chunks.
-	go func() {
-		defer close(jobs)
-		idx := 0
-		buf := bufPool.Get().(*[][2]int)
-		gen(func(a, b int) bool {
-			*buf = append(*buf, [2]int{a, b})
-			if len(*buf) == pairChunkSize {
-				jobs <- pairChunk{idx: idx, pairs: *buf}
-				idx++
-				buf = bufPool.Get().(*[][2]int)
-				*buf = (*buf)[:0]
-			}
-			return true
-		})
-		if len(*buf) > 0 {
-			jobs <- pairChunk{idx: idx, pairs: *buf}
-		}
-	}()
-
-	// Workers: score chunks with per-worker scratch.
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	return parshard.Run(workers, pairChunkSize,
+		parshard.Gen[[2]int](func(yield func([2]int) bool) {
+			gen(func(a, b int) bool { return yield([2]int{a, b}) })
+		}),
+		func() func([2]int, *shardResult) {
 			ps := &pairScorer{m: m, cfg: cfg}
-			for ch := range jobs {
-				out := shardResult{idx: ch.idx}
-				for _, p := range ch.pairs {
-					ps.score(p[0], p[1], &out)
-				}
-				buf := ch.pairs[:0]
-				bufPool.Put(&buf)
-				results <- out
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
-	// Merge deterministically: chunk order restores the canonical pair
-	// order, so Duplicates/Borderline come out exactly as sequential.
-	var chunks []shardResult
-	for cr := range results {
-		chunks = append(chunks, cr)
-	}
-	sort.Slice(chunks, func(i, j int) bool { return chunks[i].idx < chunks[j].idx })
-	var merged shardResult
-	for _, cr := range chunks {
-		merged.stats.CandidatePairs += cr.stats.CandidatePairs
-		merged.stats.FilteredOut += cr.stats.FilteredOut
-		merged.stats.Compared += cr.stats.Compared
-		merged.dups = append(merged.dups, cr.dups...)
-		merged.borderline = append(merged.borderline, cr.borderline...)
-	}
-	return merged
+			return func(p [2]int, out *shardResult) { ps.score(p[0], p[1], out) }
+		},
+		func(into *shardResult, chunk shardResult) {
+			into.stats.CandidatePairs += chunk.stats.CandidatePairs
+			into.stats.FilteredOut += chunk.stats.FilteredOut
+			into.stats.Compared += chunk.stats.Compared
+			into.dups = append(into.dups, chunk.dups...)
+			into.borderline = append(into.borderline, chunk.borderline...)
+		})
 }

@@ -611,9 +611,95 @@ func E12(seed int64, sizes []int) *Report {
 	return rep
 }
 
+// E13 is the scale-up experiment for the sharded parallel DUMAS
+// matcher: every duplicate-discovery strategy (token index, sorted-
+// neighborhood window, q-gram prefix blocking), each run sequentially
+// (Parallelism=1) and parallel (Parallelism=0 ⇒ GOMAXPROCS), at
+// growing input sizes (n rows per source ⇒ an n×n cross-relation
+// sweep). The parallel run must return a byte-identical Result — the
+// "same" column asserts it — so the speedup column is pure wall-clock.
+func E13(seed int64, sizes []int) *Report {
+	rep := &Report{
+		ID:     "E13",
+		Title:  "parallel sharded DUMAS matching scale-up (token index / window / q-grams)",
+		Header: []string{"rows×rows", "method", "candidates", "scored", "sequential", "parallel", "speedup", "same", "F1"},
+		Notes: fmt.Sprintf("parallel = %d workers (GOMAXPROCS); full scale-up: hummer-bench -exp e13 -sizes 300,900",
+			runtime.GOMAXPROCS(0)),
+	}
+	truth := matchingTruth(personRenames, datagen.Persons.Attributes)
+	methods := []struct {
+		label string
+		cfg   dumas.Config
+	}{
+		{"token index", dumas.Config{}},
+		{"SNM w=20", dumas.Config{Window: 20}},
+		{"q-grams q=3", dumas.Config{QGrams: 3}},
+	}
+	for _, n := range sizes {
+		ents := datagen.Persons.Generate(seed, n)
+		left := datagen.ObserveShuffled(datagen.Persons, ents, datagen.SourceSpec{
+			Alias: "s1", TypoRate: 0.1, NullRate: 0.05, Seed: seed + 7,
+		})
+		right := datagen.ObserveShuffled(datagen.Persons, ents, datagen.SourceSpec{
+			Alias: "s2", Renames: personRenames, TypoRate: 0.1, NullRate: 0.05, Seed: seed + 8,
+		})
+		dims := fmt.Sprintf("%d×%d", left.Rel.Len(), right.Rel.Len())
+		for _, meth := range methods {
+			seqCfg := meth.cfg
+			seqCfg.Parallelism = 1
+			t0 := nowMono()
+			seq, err := dumas.Match(left.Rel, right.Rel, seqCfg)
+			seqDur := nowMono() - t0
+			if err != nil {
+				rep.Rows = append(rep.Rows, []string{dims, meth.label, "err: " + err.Error(), "", "", "", "", "", ""})
+				continue
+			}
+			parCfg := meth.cfg
+			parCfg.Parallelism = 0 // GOMAXPROCS
+			t1 := nowMono()
+			par, err := dumas.Match(left.Rel, right.Rel, parCfg)
+			parDur := nowMono() - t1
+			if err != nil {
+				rep.Rows = append(rep.Rows, []string{dims, meth.label, "err: " + err.Error(), "", "", "", "", "", ""})
+				continue
+			}
+			same := "yes"
+			if !reflect.DeepEqual(seq, par) {
+				same = "NO"
+			}
+			speedup := "-"
+			if parDur > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(seqDur)/float64(parDur))
+			}
+			m := eval.Matching(seq.Correspondences, truth)
+			rep.Rows = append(rep.Rows, []string{
+				dims, meth.label,
+				fmt.Sprint(seq.Stats.CandidatePairs), fmt.Sprint(seq.Stats.Scored),
+				fmtDuration(seqDur), fmtDuration(parDur), speedup, same, f3(m.F1),
+			})
+			rep.Samples = append(rep.Samples,
+				BenchSample{
+					Name: "e13/" + meth.label + "/sequential", Rows: left.Rel.Len() + right.Rel.Len(),
+					Workers: 1, Seconds: float64(seqDur) / 1e9,
+					Stats: dupdetect.Stats{CandidatePairs: seq.Stats.CandidatePairs, Compared: seq.Stats.Scored},
+				},
+				BenchSample{
+					Name: "e13/" + meth.label + "/parallel", Rows: left.Rel.Len() + right.Rel.Len(),
+					Workers: runtime.GOMAXPROCS(0), Seconds: float64(parDur) / 1e9,
+					Stats: dupdetect.Stats{CandidatePairs: par.Stats.CandidatePairs, Compared: par.Stats.Scored},
+				})
+		}
+	}
+	return rep
+}
+
 // e12QuickSizes keeps the default suite (and its tests) fast; the full
 // {1k, 5k, 20k} scale-up is an explicit hummer-bench -sizes run.
 var e12QuickSizes = []int{400, 1200}
+
+// e13QuickSizes: the 900×900 sweep is the acceptance size for the
+// parallel matcher; 300 shows the trend.
+var e13QuickSizes = []int{300, 900}
 
 // All runs every experiment with default parameters, in order.
 func All(seed int64) []*Report {
@@ -628,6 +714,7 @@ func All(seed int64) []*Report {
 		E10(seed, 60),
 		E11(seed, 80, 3),
 		E12(seed, e12QuickSizes),
+		E13(seed, e13QuickSizes),
 	}
 }
 
@@ -654,6 +741,8 @@ func ByID(id string, seed int64) *Report {
 		return E11(seed, 80, 3)
 	case "e12":
 		return E12(seed, e12QuickSizes)
+	case "e13":
+		return E13(seed, e13QuickSizes)
 	default:
 		return nil
 	}
@@ -661,7 +750,7 @@ func ByID(id string, seed int64) *Report {
 
 // IDs lists the experiment ids ByID accepts, in canonical run order.
 func IDs() []string {
-	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"}
+	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
 }
 
 func minInt(a, b int) int {

@@ -174,6 +174,30 @@ func TestE12ParallelIdenticalAndMeasured(t *testing.T) {
 	}
 }
 
+func TestE13ParallelIdenticalAndMeasured(t *testing.T) {
+	rep := E13(7, []int{150})
+	if len(rep.Rows) != 3 { // token index, SNM, q-grams
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if strings.HasPrefix(row[2], "err") {
+			t.Errorf("method %s errored: %v", row[1], row)
+			continue
+		}
+		if row[7] != "yes" {
+			t.Errorf("method %s: parallel result differed from sequential", row[1])
+		}
+	}
+	if len(rep.Samples) != 6 { // 3 methods × {sequential, parallel}
+		t.Fatalf("samples = %d, want 6", len(rep.Samples))
+	}
+	for _, s := range rep.Samples {
+		if s.Seconds < 0 || s.Rows == 0 || s.Stats.CandidatePairs == 0 {
+			t.Errorf("degenerate sample %+v", s)
+		}
+	}
+}
+
 func TestByIDAndIDs(t *testing.T) {
 	for _, id := range IDs() {
 		if ByID(id, 7) == nil {

@@ -1,0 +1,195 @@
+// Package parshard provides the shared deterministic work-sharding
+// machinery behind HumMer's parallel phases (duplicate detection's
+// pair scoring, DUMAS's tuple-pair scoring and per-cell field-matrix
+// averaging).
+//
+// # The canonical-order determinism contract
+//
+// Every parallel phase in this codebase obeys one rule: parallelism is
+// a wall-clock knob, never a semantics knob. The result of a run must
+// be byte-identical at every worker count. parshard encodes the two
+// patterns that make this cheap to guarantee:
+//
+//   - Run consumes a generator that streams work items in a canonical
+//     order fixed by the caller (row-major pairs, sorted block keys,
+//     …). The stream is cut into fixed-size chunks; chunk boundaries
+//     and within-chunk order are functions of the canonical order
+//     alone, so after workers process chunks concurrently the chunk
+//     results can be folded back in chunk-index order, restoring
+//     exactly the sequential output — including the order of any
+//     slices the chunks append to and the floating-point accumulation
+//     order of any sums.
+//
+//   - Ranges splits a [0, n) index space into contiguous shards, one
+//     per worker. Callers must write only shard-local or per-index
+//     state inside the callback; cross-shard reductions are returned
+//     per shard and folded by the caller in shard order (or must be
+//     order-insensitive, like integer counts, set unions, min/max).
+//
+// Anything order-sensitive (float accumulation, slice append) must
+// happen either per item/cell or in the deterministic fold — never
+// across items inside a shared accumulator.
+package parshard
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// DefaultChunk is the default number of items per work unit: large
+// enough to amortize channel traffic, small enough to keep all workers
+// busy on mid-sized inputs.
+const DefaultChunk = 1024
+
+// Workers resolves a Parallelism configuration value: zero or negative
+// means GOMAXPROCS.
+func Workers(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Gen streams work items in the caller's canonical order. It stops
+// early when yield returns false.
+type Gen[T any] func(yield func(T) bool)
+
+// Run consumes gen with the given number of worker goroutines and
+// returns the folded result.
+//
+// newWorker is called once per worker and returns the worker's
+// processing function, giving each worker a place to hold private
+// scratch state (reusable buffers, similarity scratch, …). The
+// processing function consumes one item, accumulating into the current
+// chunk's result.
+//
+// merge folds one chunk result into the running total; it is called in
+// chunk-index order, i.e. in the canonical stream order. A
+// single-worker run may skip merge entirely and return the lone
+// accumulated result directly, so merge must be a pure fold with no
+// side effects beyond *into.
+//
+// chunkSize <= 0 selects DefaultChunk.
+func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(item T, out *R), merge func(into *R, chunk R)) R {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunk
+	}
+	if workers <= 1 {
+		proc := newWorker()
+		var out R
+		gen(func(item T) bool {
+			proc(item, &out)
+			return true
+		})
+		return out
+	}
+
+	type chunk struct {
+		idx   int
+		items []T
+	}
+	type indexed struct {
+		idx int
+		res R
+	}
+	jobs := make(chan chunk, workers)
+	results := make(chan indexed, workers)
+	bufPool := sync.Pool{New: func() any {
+		buf := make([]T, 0, chunkSize)
+		return &buf
+	}}
+
+	// Generator: stream the canonical order into chunks.
+	go func() {
+		defer close(jobs)
+		idx := 0
+		buf := bufPool.Get().(*[]T)
+		gen(func(item T) bool {
+			*buf = append(*buf, item)
+			if len(*buf) == chunkSize {
+				jobs <- chunk{idx: idx, items: *buf}
+				idx++
+				buf = bufPool.Get().(*[]T)
+				*buf = (*buf)[:0]
+			}
+			return true
+		})
+		if len(*buf) > 0 {
+			jobs <- chunk{idx: idx, items: *buf}
+		}
+	}()
+
+	// Workers: process chunks with per-worker state.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			proc := newWorker()
+			for ch := range jobs {
+				var out R
+				for _, item := range ch.items {
+					proc(item, &out)
+				}
+				buf := ch.items[:0]
+				bufPool.Put(&buf)
+				results <- indexed{idx: ch.idx, res: out}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Fold deterministically: chunk order restores the canonical
+	// stream order.
+	var chunks []indexed
+	for r := range results {
+		chunks = append(chunks, r)
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].idx < chunks[j].idx })
+	var merged R
+	for _, c := range chunks {
+		merge(&merged, c.res)
+	}
+	return merged
+}
+
+// Ranges splits [0, n) into at most `workers` contiguous, near-equal
+// shards and runs fn concurrently, once per shard, waiting for all to
+// finish. fn receives the shard index (0-based, in range order) and
+// the half-open [lo, hi) bounds. With workers <= 1 (or n too small to
+// split) fn runs inline exactly once with the full range.
+//
+// Determinism contract: fn must only write per-index state (slots
+// [lo, hi) of shared slices) or shard-local state keyed by the shard
+// index; the caller folds any shard-local reductions afterwards, in
+// shard order.
+func Ranges(workers, n int, fn func(shard, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo := s * n / workers
+		hi := (s + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}

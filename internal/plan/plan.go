@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"hummer/internal/core"
+	"hummer/internal/dumas"
 	"hummer/internal/dupdetect"
 	"hummer/internal/engine"
 	"hummer/internal/expr"
@@ -46,6 +47,10 @@ type Executor struct {
 	// to fusion queries (threshold, candidate strategy, parallelism).
 	// The zero value means paper-faithful defaults.
 	Detect dupdetect.Config
+	// Match is the default DUMAS schema-matching configuration applied
+	// to fusion queries (duplicates used, candidate strategy,
+	// parallelism). The zero value means paper-faithful defaults.
+	Match dumas.Config
 }
 
 // Query parses and executes one statement.
@@ -87,6 +92,7 @@ func (e *Executor) executeFusion(stmt *sql.Stmt) (*QueryResult, error) {
 		FuseBy: stmt.FuseBy,
 		Where:  stmt.Where,
 		Detect: e.Detect,
+		Match:  e.Match,
 	}
 	// SELECT list → fusion output items. The * wildcard appends "all
 	// attributes present in the sources" (§2.1) not already selected.

@@ -1,0 +1,119 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveLevenshteinSim is the reference oracle: the O(n·m) full dynamic
+// program with no banding, no early abandon, no buffer reuse.
+func naiveLevenshteinSim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	d := make([][]int, la+1)
+	for i := range d {
+		d[i] = make([]int, lb+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= lb; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= la; i++ {
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := d[i-1][j] + 1
+			if x := d[i][j-1] + 1; x < m {
+				m = x
+			}
+			if x := d[i-1][j-1] + cost; x < m {
+				m = x
+			}
+			d[i][j] = m
+		}
+	}
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return 1 - float64(d[la][lb])/float64(max)
+}
+
+// FuzzLevenshteinSimBounded checks the banded, early-abandoning edit
+// similarity against the naive full dynamic program: whenever the true
+// similarity reaches the cutoff the bounded kernel must return it
+// exactly, and whenever it abandons, both the returned canonical value
+// and the true similarity must be below the cutoff. Symmetry must hold
+// in all cases. Runs as a plain regression test over the seed corpus
+// in CI; `go test -fuzz=FuzzLevenshteinSimBounded ./internal/strsim`
+// explores further.
+func FuzzLevenshteinSimBounded(f *testing.F) {
+	f.Add("", "", 0.5)
+	f.Add("kitten", "sitting", 0.5)
+	f.Add("kitten", "sitting", 0.9)
+	f.Add("jonathan smith", "jonathon smith", 0.75)
+	f.Add("abcdefghij", "abcdefghij", 0.99)
+	f.Add("abc", "xyz", 0.0)
+	f.Add("für", "fuer", 0.6)
+	f.Add("aaaaaaaaaaaaaaaa", "a", 0.3)
+	f.Add("ab", "ba", 0.75)
+	f.Add("日本語テキスト", "日本語てきすと", 0.5)
+	f.Fuzz(func(t *testing.T, a, b string, cutoff float64) {
+		// The kernel's contract is defined for cutoff ∈ [0, 1); fold
+		// arbitrary fuzz floats into it.
+		if math.IsNaN(cutoff) || cutoff < 0 {
+			cutoff = 0
+		}
+		if cutoff >= 1 {
+			cutoff = math.Mod(cutoff, 1)
+		}
+		want := naiveLevenshteinSim(a, b)
+		var sc Scratch
+		got := sc.LevenshteinSimBounded(a, b, cutoff)
+		sym := sc.LevenshteinSimBounded(b, a, cutoff)
+		if got != sym {
+			t.Fatalf("not symmetric: sim(%q,%q)=%v, sim(%q,%q)=%v (cutoff %v)",
+				a, b, got, b, a, sym, cutoff)
+		}
+		const eps = 1e-12
+		if math.Abs(got-want) <= eps {
+			return // exact: always acceptable
+		}
+		// The kernel abandoned: both the true similarity and the
+		// canonical replacement must be below the cutoff, so callers
+		// branching on "≥ cutoff" see exact semantics.
+		if want >= cutoff {
+			t.Fatalf("sim(%q,%q) = %v ≥ cutoff %v but bounded returned %v",
+				a, b, want, cutoff, got)
+		}
+		if got >= cutoff {
+			t.Fatalf("bounded sim(%q,%q) = %v claims ≥ cutoff %v but true sim is %v",
+				a, b, got, cutoff, want)
+		}
+	})
+}
+
+// FuzzScratchJaroWinkler checks the allocation-free scratch kernel
+// against the allocating reference implementation bit for bit.
+func FuzzScratchJaroWinkler(f *testing.F) {
+	f.Add("", "")
+	f.Add("martha", "marhta")
+	f.Add("dixon", "dicksonx")
+	f.Add("jonathan", "jonathon")
+	f.Add("a", "")
+	f.Add("日本", "日本語")
+	var sc Scratch
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if want, got := Jaro(a, b), sc.Jaro(a, b); want != got {
+			t.Fatalf("Jaro(%q,%q): scratch %v, reference %v", a, b, got, want)
+		}
+		if want, got := JaroWinkler(a, b), sc.JaroWinkler(a, b); want != got {
+			t.Fatalf("JaroWinkler(%q,%q): scratch %v, reference %v", a, b, got, want)
+		}
+	})
+}

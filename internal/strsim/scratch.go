@@ -11,6 +11,7 @@ package strsim
 type Scratch struct {
 	ra, rb    []rune
 	prev, cur []int
+	ma, mb    []bool
 }
 
 // AppendRunes appends the runes of s to dst, reusing dst's capacity.
@@ -148,4 +149,94 @@ func growInts(buf *[]int, n int) []int {
 	}
 	*buf = (*buf)[:n]
 	return *buf
+}
+
+// growBools resizes *buf to n cleared bools, reallocating only on
+// growth.
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+		return *buf
+	}
+	*buf = (*buf)[:n]
+	for i := range *buf {
+		(*buf)[i] = false
+	}
+	return *buf
+}
+
+// Jaro is the allocation-free equivalent of the package-level Jaro:
+// the same algorithm over reused rune and match buffers, producing
+// bit-identical results.
+func (s *Scratch) Jaro(a, b string) float64 {
+	ra := AppendRunes(s.ra[:0], a)
+	rb := AppendRunes(s.rb[:0], b)
+	s.ra, s.rb = ra, rb
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := len(ra)
+	if len(rb) > window {
+		window = len(rb)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := growBools(&s.ma, len(ra))
+	matchB := growBools(&s.mb, len(rb))
+	matches := 0
+	for i, c := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && rb[j] == c {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+}
+
+// JaroWinkler is the allocation-free equivalent of the package-level
+// JaroWinkler, bit-identical to it.
+func (s *Scratch) JaroWinkler(a, b string) float64 {
+	j := s.Jaro(a, b)
+	prefix := 0
+	ra, rb := s.ra, s.rb
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
 }

@@ -9,6 +9,7 @@ package strsim
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"unicode"
 )
@@ -252,6 +253,19 @@ func (c *Corpus) AddDoc(tokens []string) {
 // AddText tokenizes s and records it as one document.
 func (c *Corpus) AddText(s string) { c.AddDoc(Tokenize(s)) }
 
+// Merge folds another corpus's document-frequency statistics into c.
+// Counts are added, so merging per-shard corpora built over disjoint
+// row ranges yields exactly the corpus a sequential pass would have
+// built — the merge order cannot matter. This is what lets the
+// measure-precomputation phases shard corpus building across workers
+// while keeping results byte-identical.
+func (c *Corpus) Merge(o *Corpus) {
+	c.docs += o.docs
+	for t, n := range o.df {
+		c.df[t] += n
+	}
+}
+
 // Docs returns the number of documents added.
 func (c *Corpus) Docs() int { return c.docs }
 
@@ -378,4 +392,130 @@ func innerSim(a, b string) float64 {
 		return 1
 	}
 	return JaroWinkler(a, b)
+}
+
+// --- Deterministic sparse term vectors ----------------------------------
+
+// TermVec is a TFIDF-weighted, L2-normalized sparse vector whose terms
+// are sorted lexicographically. It carries the same weights as the
+// map-based Vector, but every operation iterates terms in sorted
+// order, so float accumulation order — and with it the low-order bits
+// of every similarity — is deterministic run-to-run, which map
+// iteration cannot provide. The parallel matching paths depend on
+// this: a byte-identical-results guarantee needs deterministic floats.
+// Dot products over two TermVecs are also allocation-free (a sorted
+// two-pointer merge instead of per-term map lookups).
+type TermVec struct {
+	Terms []string
+	Ws    []float64
+}
+
+// Len returns the number of distinct terms.
+func (v TermVec) Len() int { return len(v.Terms) }
+
+// TermVec builds the normalized TFIDF term vector of tokens under
+// corpus c, with terms sorted. Term frequency is log-scaled
+// (1 + log tf), exactly as TFIDFVector.
+func (c *Corpus) TermVec(tokens []string) TermVec {
+	if len(tokens) == 0 {
+		return TermVec{}
+	}
+	sorted := append([]string(nil), tokens...)
+	sort.Strings(sorted)
+	v := TermVec{
+		Terms: make([]string, 0, len(sorted)),
+		Ws:    make([]float64, 0, len(sorted)),
+	}
+	var norm float64
+	flush := func(t string, tf int) {
+		w := (1 + math.Log(float64(tf))) * c.IDF(t)
+		v.Terms = append(v.Terms, t)
+		v.Ws = append(v.Ws, w)
+		norm += w * w
+	}
+	run := 1
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) && sorted[i] == sorted[i-1] {
+			run++
+			continue
+		}
+		flush(sorted[i-1], run)
+		run = 1
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v.Ws {
+			v.Ws[i] /= norm
+		}
+	}
+	return v
+}
+
+// DotTermVecs returns the cosine similarity of two normalized term
+// vectors: a sorted two-pointer merge, allocation-free and with a
+// deterministic accumulation order.
+func DotTermVecs(a, b TermVec) float64 {
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.Terms) && j < len(b.Terms) {
+		switch {
+		case a.Terms[i] < b.Terms[j]:
+			i++
+		case a.Terms[i] > b.Terms[j]:
+			j++
+		default:
+			dot += a.Ws[i] * b.Ws[j]
+			i++
+			j++
+		}
+	}
+	if dot > 1 { // guard against rounding
+		dot = 1
+	}
+	return dot
+}
+
+// SoftTFIDFTermVecs computes the SoftTFIDF similarity over prebuilt
+// term vectors: for each term of va (in sorted order) the closest term
+// of vb under the inner measure contributes wa·wb·sim when the inner
+// similarity reaches SoftTFIDFThreshold. sc provides the reusable
+// buffers for the inner Jaro-Winkler comparisons, so the inner loop
+// performs no allocation. Semantics match SoftTFIDFTokens; among
+// equally-close tokens the lexicographically first wins, making the
+// result deterministic.
+func (c *Corpus) SoftTFIDFTermVecs(sc *Scratch, va, vb TermVec) float64 {
+	if va.Len() == 0 && vb.Len() == 0 {
+		return 1
+	}
+	if va.Len() == 0 || vb.Len() == 0 {
+		return 0
+	}
+	var sim float64
+	for i, t := range va.Terms {
+		bestW, bestSim := 0.0, 0.0
+		for j, u := range vb.Terms {
+			var s float64
+			if t == u {
+				s = 1
+			} else {
+				s = sc.JaroWinkler(t, u)
+			}
+			if s > bestSim {
+				bestW, bestSim = vb.Ws[j], s
+				// Nothing can beat an exact match (comparison is
+				// strict), and duplicate fields usually are exact —
+				// skip the remaining Jaro-Winkler calls.
+				if bestSim == 1 {
+					break
+				}
+			}
+		}
+		if bestSim >= SoftTFIDFThreshold {
+			sim += va.Ws[i] * bestW * bestSim
+		}
+	}
+	if sim > 1 {
+		sim = 1
+	}
+	return sim
 }
