@@ -1,22 +1,26 @@
 # HumMer build / verify entry points.
 #
 #   make check   — everything CI needs: formatting, vet, build, tests,
-#                  the race detector on the parallel packages, the
-#                  coverage floor, and the perf-acceptance benchmarks
-#                  in short mode.
+#                  the race detector on the parallel and serving
+#                  packages, the coverage floor, and the
+#                  perf-acceptance benchmarks in short mode.
+#   make serve   — launch hummerd on the quickstart example sources.
 #   make bench   — the full benchmark suite (longer).
 #   make fmt     — rewrite files with gofmt.
 
 GO ?= go
 
-# Packages with sharded worker pools: always exercised under -race.
-RACE_PKGS = ./internal/parshard ./internal/dupdetect ./internal/dumas
+# Packages with sharded worker pools or concurrent query serving:
+# always exercised under -race. The root package carries the
+# concurrent-DB.Query byte-identity test.
+RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
+	./internal/qcache ./internal/server
 
 # Packages held to the coverage floor (matching + detection core).
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
 COVER_FLOOR = 70
 
-.PHONY: check fmtcheck fmt vet build test race cover bench bench-short
+.PHONY: check fmtcheck fmt vet build test race cover bench bench-short serve
 
 check: fmtcheck vet build test race cover bench-short
 
@@ -38,10 +42,19 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel packages must be clean under the race detector: their
-# determinism guarantee is worthless if workers race.
+# The parallel and serving packages must be clean under the race
+# detector: the determinism guarantee is worthless if workers race,
+# and hummerd serves queries concurrently.
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Launch the query service on the quickstart example sources; stop it
+# with Ctrl-C (hummerd shuts down gracefully). See README.md for a
+# curl-able tour of the API.
+serve:
+	$(GO) run ./cmd/hummerd -addr :8080 \
+		-csv EE_Student=examples/serve/ee_students.csv \
+		-csv CS_Students=examples/serve/cs_students.csv
 
 # Coverage floor: each core matching/detection package must keep at
 # least $(COVER_FLOOR)% statement coverage.

@@ -19,6 +19,7 @@
 //	                     (0 = GOMAXPROCS, 1 = sequential; identical results)
 //	-window W            sorted-neighborhood candidate generation
 //	-block P             prefix-blocking candidate generation (P = prefix runes)
+//	-qgrams Q            q-gram blocking candidate generation (Q = gram length)
 //	-threshold T         duplicate similarity threshold (default 0.8)
 //	-match-parallel N    schema-matching worker goroutines
 //	                     (0 = GOMAXPROCS, 1 = sequential; identical results)
@@ -35,17 +36,8 @@ import (
 	"strings"
 
 	"hummer"
+	"hummer/internal/flagspec"
 )
-
-// multiFlag collects repeatable -key=value flags.
-type multiFlag []string
-
-func (m *multiFlag) String() string { return strings.Join(*m, ",") }
-
-func (m *multiFlag) Set(v string) error {
-	*m = append(*m, v)
-	return nil
-}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -56,7 +48,7 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("hummer", flag.ContinueOnError)
-	var csvs, jsons, xmls multiFlag
+	var csvs, jsons, xmls flagspec.Multi
 	fs.Var(&csvs, "csv", "alias=path of a CSV source (repeatable)")
 	fs.Var(&jsons, "json", "alias=path of a JSON source (repeatable)")
 	fs.Var(&xmls, "xml", "alias=path:recordTag of an XML source (repeatable)")
@@ -66,6 +58,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	parallel := fs.Int("parallel", 0, "duplicate-detection workers (0 = GOMAXPROCS, 1 = sequential)")
 	window := fs.Int("window", 0, "sorted-neighborhood window (0 = exhaustive pairing)")
 	block := fs.Int("block", 0, "prefix-blocking key length in runes (0 = off)")
+	qgrams := fs.Int("qgrams", 0, "q-gram blocking gram length (0 = off)")
 	threshold := fs.Float64("threshold", 0, "duplicate similarity threshold (0 = default 0.8)")
 	matchParallel := fs.Int("match-parallel", 0, "schema-matching workers (0 = GOMAXPROCS, 1 = sequential)")
 	matchWindow := fs.Int("match-window", 0, "schema-matching sorted-neighborhood window (0 = token index)")
@@ -80,6 +73,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Threshold:   *threshold,
 		Window:      *window,
 		Blocking:    *block,
+		QGrams:      *qgrams,
 		Parallelism: *parallel,
 	})
 	db.SetMatchConfig(hummer.MatchConfig{
@@ -89,7 +83,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		Parallelism:   *matchParallel,
 	})
 	for _, spec := range csvs {
-		alias, path, err := splitSpec(spec, "=")
+		alias, path, err := flagspec.Split(spec, "=")
 		if err != nil {
 			return fmt.Errorf("-csv %q: %w", spec, err)
 		}
@@ -98,7 +92,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	for _, spec := range jsons {
-		alias, path, err := splitSpec(spec, "=")
+		alias, path, err := flagspec.Split(spec, "=")
 		if err != nil {
 			return fmt.Errorf("-json %q: %w", spec, err)
 		}
@@ -107,11 +101,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	for _, spec := range xmls {
-		alias, rest, err := splitSpec(spec, "=")
+		alias, rest, err := flagspec.Split(spec, "=")
 		if err != nil {
 			return fmt.Errorf("-xml %q: %w", spec, err)
 		}
-		path, tag, err := splitSpec(rest, ":")
+		path, tag, err := flagspec.SplitPathTag(rest)
 		if err != nil {
 			return fmt.Errorf("-xml %q: want alias=path:recordTag", spec)
 		}
@@ -166,12 +160,4 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	}
 	return nil
-}
-
-func splitSpec(spec, sep string) (string, string, error) {
-	i := strings.Index(spec, sep)
-	if i <= 0 || i == len(spec)-1 {
-		return "", "", fmt.Errorf("want key%svalue", sep)
-	}
-	return spec[:i], spec[i+1:], nil
 }

@@ -1,0 +1,141 @@
+// Command hummerd is the HumMer query service: a long-lived HTTP/JSON
+// server over one shared DB. Sources are registered at startup from
+// flags or at runtime through the API; FUSE BY queries are served
+// concurrently, with the expensive pipeline artifacts (DUMAS matches,
+// duplicate detections, parsed plans) shared across queries through
+// the versioned artifact cache.
+//
+// Usage:
+//
+//	hummerd -addr :8080 -csv students1=ee.csv -csv students2=cs.csv
+//
+// Flags:
+//
+//	-addr HOST:PORT      listen address (default :8080)
+//	-csv alias=path      register a CSV source (repeatable)
+//	-json alias=path     register a JSON source (repeatable)
+//	-xml alias=path:tag  register an XML source (repeatable)
+//	-cache N             artifact-cache capacity in entries (0 = default)
+//	-parallel N          duplicate-detection workers (0 = GOMAXPROCS)
+//	-match-parallel N    schema-matching workers (0 = GOMAXPROCS)
+//	-allow-path-sources  let API clients register server-local files by
+//	                     path (off by default: file-disclosure risk)
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get up to 10 seconds to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hummer"
+	"hummer/internal/flagspec"
+	"hummer/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hummerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hummerd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	var csvs, jsons, xmls flagspec.Multi
+	fs.Var(&csvs, "csv", "alias=path of a CSV source (repeatable)")
+	fs.Var(&jsons, "json", "alias=path of a JSON source (repeatable)")
+	fs.Var(&xmls, "xml", "alias=path:recordTag of an XML source (repeatable)")
+	cacheCap := fs.Int("cache", 0, "artifact-cache capacity in entries (0 = default)")
+	parallel := fs.Int("parallel", 0, "duplicate-detection workers (0 = GOMAXPROCS)")
+	matchParallel := fs.Int("match-parallel", 0, "schema-matching workers (0 = GOMAXPROCS)")
+	allowPaths := fs.Bool("allow-path-sources", false,
+		"let API clients register server-local files by path (file-disclosure risk; keep off unless clients are trusted)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db := hummer.New(hummer.WithCacheCapacity(*cacheCap))
+	db.SetDetectConfig(hummer.DetectionConfig{Parallelism: *parallel})
+	db.SetMatchConfig(hummer.MatchConfig{Parallelism: *matchParallel})
+	for _, spec := range csvs {
+		alias, path, err := flagspec.Split(spec, "=")
+		if err != nil {
+			return fmt.Errorf("-csv %q: %w", spec, err)
+		}
+		if err := db.RegisterCSV(alias, path); err != nil {
+			return err
+		}
+	}
+	for _, spec := range jsons {
+		alias, path, err := flagspec.Split(spec, "=")
+		if err != nil {
+			return fmt.Errorf("-json %q: %w", spec, err)
+		}
+		if err := db.RegisterJSON(alias, path); err != nil {
+			return err
+		}
+	}
+	for _, spec := range xmls {
+		alias, rest, err := flagspec.Split(spec, "=")
+		if err != nil {
+			return fmt.Errorf("-xml %q: %w", spec, err)
+		}
+		path, tag, err := flagspec.SplitPathTag(rest)
+		if err != nil {
+			return fmt.Errorf("-xml %q: want alias=path:recordTag", spec)
+		}
+		if err := db.RegisterXML(alias, path, tag); err != nil {
+			return err
+		}
+	}
+
+	var srvOpts []server.Option
+	if *allowPaths {
+		srvOpts = append(srvOpts, server.AllowPathSources())
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(db, srvOpts...).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hummerd: serving on %s (%d sources registered)", *addr, len(db.Sources()))
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("hummerd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	st := db.Stats()
+	log.Printf("hummerd: served %d queries (%d fusion, %d errors), cache hit rate %.0f%%",
+		st.Queries, st.FuseQueries, st.QueryErrors, st.Cache.HitRate()*100)
+	return <-errCh
+}

@@ -26,6 +26,9 @@
 package hummer
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"hummer/internal/core"
 	"hummer/internal/dumas"
 	"hummer/internal/dupdetect"
@@ -33,6 +36,7 @@ import (
 	"hummer/internal/lineage"
 	"hummer/internal/metadata"
 	"hummer/internal/plan"
+	"hummer/internal/qcache"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
 	"hummer/internal/value"
@@ -86,16 +90,24 @@ type (
 	Detection = dupdetect.Result
 	// DetectionConfig tunes duplicate detection: threshold, attribute
 	// selection, candidate-generation strategy (exhaustive, Window for
-	// sorted-neighborhood, Blocking for prefix blocking) and
-	// Parallelism (0 = GOMAXPROCS; the result is byte-identical at
-	// every worker count).
+	// sorted-neighborhood, Blocking for prefix blocking, QGrams for
+	// q-gram blocking) and Parallelism (0 = GOMAXPROCS; the result is
+	// byte-identical at every worker count).
 	DetectionConfig = dupdetect.Config
 	// DetectionStats reports the comparison counts of a detection run.
 	DetectionStats = dupdetect.Stats
+	// CacheStats reports the artifact cache's traffic per artifact
+	// kind (parsed plans, DUMAS matches, detection results).
+	CacheStats = qcache.Stats
 	// Values re-exported for building rows and custom resolution
 	// functions.
 	Kind = value.Kind
 )
+
+// ErrAliasConflict is returned (wrapped) by the Register* methods
+// when an alias is re-registered with different data; match it with
+// errors.Is and use the Replace* methods to overwrite deliberately.
+var ErrAliasConflict = metadata.ErrAliasConflict
 
 // Value constructors, re-exported for convenience.
 var (
@@ -120,31 +132,106 @@ var (
 type Result = plan.QueryResult
 
 // DB is a HumMer instance: a metadata repository of registered
-// sources, a resolution-function registry and a query executor.
+// sources, a resolution-function registry, a versioned artifact cache
+// and a query executor. A DB is safe for concurrent use: queries may
+// run in parallel with each other and with registrations —
+// registered relations are treated as immutable, each query executes
+// over a private snapshot of the configuration, and the expensive
+// pipeline artifacts (DUMAS matches, duplicate detections, parsed
+// plans) are shared through the fingerprint-keyed cache, where a
+// thundering herd of identical queries computes each artifact once.
 type DB struct {
 	repo     *metadata.Repository
 	registry *fusion.Registry
-	pipeline *core.Pipeline
-	executor *plan.Executor
+	cache    *qcache.Cache
+
+	// mu guards the per-query configuration and wizard hooks below;
+	// Query snapshots them so in-flight queries are unaffected by
+	// concurrent Set* calls.
+	mu                sync.RWMutex
+	detect            dupdetect.Config
+	match             dumas.Config
+	onCorrespondences func(sourceAlias string, proposed []dumas.Correspondence) []dumas.Correspondence
+	onAttributes      func(proposed []string) []string
+	onDuplicates      func(det *dupdetect.Result, merged *relation.Relation) []int
+
+	queries     atomic.Uint64
+	fuseQueries atomic.Uint64
+	queryErrors atomic.Uint64
+}
+
+// Option configures a DB at construction.
+type Option func(*DB)
+
+// WithCacheCapacity bounds the artifact cache to n entries (the
+// default is qcache.DefaultCapacity). n <= 0 keeps the default.
+func WithCacheCapacity(n int) Option {
+	return func(db *DB) { db.cache = qcache.New(n) }
+}
+
+// WithoutCache disables the artifact cache: every query recomputes
+// matching and detection from scratch (the seed behaviour).
+func WithoutCache() Option {
+	return func(db *DB) { db.cache = nil }
 }
 
 // New creates an empty HumMer instance with the built-in resolution
 // functions (Coalesce, First, Last, Vote, Group, Concat, AnnConcat,
 // Shortest, Longest, Choose, MostRecent, min, max, sum, avg, count,
-// median, stddev).
-func New() *DB {
-	repo := metadata.NewRepository()
-	reg := fusion.NewRegistry()
-	pipe := &core.Pipeline{Repo: repo, Registry: reg}
-	return &DB{
-		repo:     repo,
-		registry: reg,
-		pipeline: pipe,
-		executor: &plan.Executor{Repo: repo, Registry: reg, Pipeline: pipe},
+// median, stddev) and a default-sized artifact cache.
+func New(opts ...Option) *DB {
+	db := &DB{
+		repo:     metadata.NewRepository(),
+		registry: fusion.NewRegistry(),
+		cache:    qcache.New(0),
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// newPipeline builds a fresh pipeline over the shared repo, registry
+// and cache with a snapshot of the current hooks, taken under one
+// lock. Callers hold no lock.
+func (db *DB) newPipeline() *core.Pipeline {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.newPipelineLocked()
+}
+
+func (db *DB) newPipelineLocked() *core.Pipeline {
+	return &core.Pipeline{
+		Repo:              db.repo,
+		Registry:          db.registry,
+		Cache:             db.cache,
+		OnCorrespondences: db.onCorrespondences,
+		OnAttributes:      db.onAttributes,
+		OnDuplicates:      db.onDuplicates,
+	}
+}
+
+// newExecutor builds a per-query executor with a snapshot of the
+// current configuration and hooks, taken atomically under one lock,
+// so concurrent Set*/On* calls never race with an in-flight query or
+// tear its configuration.
+func (db *DB) newExecutor() *plan.Executor {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return &plan.Executor{
+		Repo:     db.repo,
+		Registry: db.registry,
+		Pipeline: db.newPipelineLocked(),
+		Detect:   db.detect,
+		Match:    db.match,
+		Cache:    db.cache,
 	}
 }
 
 // RegisterTable registers an in-memory relation under alias.
+// Re-registering an alias with equal data is an idempotent no-op;
+// re-registering it with different data returns an error (use
+// ReplaceTable to overwrite deliberately).
 func (db *DB) RegisterTable(alias string, rel *Relation) error {
 	return db.repo.RegisterRelation(alias, rel)
 }
@@ -166,8 +253,45 @@ func (db *DB) RegisterXML(alias, path, recordTag string) error {
 	return db.repo.RegisterXML(alias, path, recordTag)
 }
 
+// ReplaceTable overwrites (or creates) the alias with a new in-memory
+// relation, bumping the alias's generation. Cached artifacts derived
+// from the old data stop being addressed — they are keyed by content
+// fingerprints — and age out of the cache.
+func (db *DB) ReplaceTable(alias string, rel *Relation) error {
+	return db.repo.Replace(metadata.NewRelationSource(alias, rel))
+}
+
+// ReplaceCSV overwrites (or creates) the alias with a CSV file.
+func (db *DB) ReplaceCSV(alias, path string) error {
+	return db.repo.Replace(&metadata.CSVSource{AliasName: alias, Path: path})
+}
+
+// ReplaceJSON overwrites (or creates) the alias with a JSON file.
+func (db *DB) ReplaceJSON(alias, path string) error {
+	return db.repo.Replace(&metadata.JSONSource{AliasName: alias, Path: path})
+}
+
+// ReplaceXML overwrites (or creates) the alias with an XML file.
+func (db *DB) ReplaceXML(alias, path, recordTag string) error {
+	return db.repo.Replace(&metadata.XMLSource{AliasName: alias, Path: path, RecordTag: recordTag})
+}
+
+// InvalidateSource drops the alias's cached relational form and bumps
+// its generation, so the next query re-loads the underlying file.
+func (db *DB) InvalidateSource(alias string) { db.repo.Invalidate(alias) }
+
 // Sources lists the registered aliases, sorted.
 func (db *DB) Sources() []string { return db.repo.Aliases() }
+
+// SourceGeneration returns the data-version counter of a registered
+// alias: 1 after first registration, bumped by Replace*/
+// InvalidateSource, 0 for unknown aliases.
+func (db *DB) SourceGeneration(alias string) uint64 { return db.repo.Generation(alias) }
+
+// SourceFingerprint returns the content fingerprint of the alias's
+// relational form (loading it if needed) — the identity under which
+// the artifact cache keys this source's work.
+func (db *DB) SourceFingerprint(alias string) (string, error) { return db.repo.Fingerprint(alias) }
 
 // Table loads (and caches) the relational form of a registered source.
 func (db *DB) Table(alias string) (*Relation, error) { return db.repo.Get(alias) }
@@ -182,21 +306,45 @@ func (db *DB) RegisterResolution(name string, f ResolutionFunc) {
 // ResolutionFunctions lists the registered resolution-function names.
 func (db *DB) ResolutionFunctions() []string { return db.registry.Names() }
 
-// Query parses and executes a SELECT or FUSE BY statement.
-func (db *DB) Query(sql string) (*Result, error) { return db.executor.Query(sql) }
+// Query parses and executes a SELECT or FUSE BY statement. Safe for
+// concurrent use: each call runs over a snapshot of the configuration
+// and shares pipeline artifacts through the cache.
+func (db *DB) Query(sql string) (*Result, error) {
+	db.queries.Add(1)
+	res, err := db.newExecutor().Query(sql)
+	if err != nil {
+		db.queryErrors.Add(1)
+		return nil, err
+	}
+	if res.Pipeline != nil {
+		db.fuseQueries.Add(1)
+	}
+	return res, nil
+}
 
 // SetDetectConfig installs the default duplicate-detection
 // configuration used by Query's fusion statements — the API and CLI
-// knob for the candidate strategy (Window / Blocking) and Parallelism.
-// Fuse calls pass their own PipelineOptions.Detect instead.
-func (db *DB) SetDetectConfig(cfg DetectionConfig) { db.executor.Detect = cfg }
+// knob for the candidate strategy (Window / Blocking / QGrams) and
+// Parallelism. Fuse calls pass their own PipelineOptions.Detect
+// instead. In-flight queries keep the configuration they started
+// with.
+func (db *DB) SetDetectConfig(cfg DetectionConfig) {
+	db.mu.Lock()
+	db.detect = cfg
+	db.mu.Unlock()
+}
 
 // SetMatchConfig installs the default DUMAS schema-matching
 // configuration used by Query's fusion statements — the API and CLI
 // knob for the duplicate budget (MaxDuplicates), the candidate
 // strategy (Window / QGrams) and Parallelism. Fuse calls pass their
-// own PipelineOptions.Match instead.
-func (db *DB) SetMatchConfig(cfg MatchConfig) { db.executor.Match = cfg }
+// own PipelineOptions.Match instead. In-flight queries keep the
+// configuration they started with.
+func (db *DB) SetMatchConfig(cfg MatchConfig) {
+	db.mu.Lock()
+	db.match = cfg
+	db.mu.Unlock()
+}
 
 // DetectDuplicates runs the duplicate-detection phase alone over a
 // relation — clusters, scored pairs and statistics without the full
@@ -216,30 +364,92 @@ func MatchSchemas(left, right *Relation, cfg MatchConfig) (*MatchResult, error) 
 // Fuse runs the three-phase pipeline programmatically over the
 // registered aliases — the API equivalent of the demo's wizard mode.
 func (db *DB) Fuse(aliases []string, opts PipelineOptions) (*PipelineResult, error) {
-	return db.pipeline.Run(aliases, opts)
+	return db.newPipeline().Run(aliases, opts)
 }
 
 // OnCorrespondences installs the wizard step-2 hook: inspect and
 // adjust the attribute correspondences DUMAS proposes for each source
 // before they are applied. Pass nil to restore automatic behaviour.
 func (db *DB) OnCorrespondences(h func(sourceAlias string, proposed []Correspondence) []Correspondence) {
-	db.pipeline.OnCorrespondences = h
+	db.mu.Lock()
+	db.onCorrespondences = h
+	db.mu.Unlock()
 }
 
 // OnAttributes installs the wizard step-3 hook: adjust the attributes
 // duplicate detection compares.
 func (db *DB) OnAttributes(h func(proposed []string) []string) {
-	db.pipeline.OnAttributes = h
+	db.mu.Lock()
+	db.onAttributes = h
+	db.mu.Unlock()
 }
 
 // OnDuplicates installs the wizard step-4 hook: inspect the detected
 // duplicate clustering and optionally return replacement object ids.
+// The Detection may be a cached artifact shared across queries; treat
+// it as read-only and adjust by returning ids.
 func (db *DB) OnDuplicates(h func(det *Detection, merged *Relation) []int) {
-	if h == nil {
-		db.pipeline.OnDuplicates = nil
-		return
+	db.mu.Lock()
+	db.onDuplicates = h
+	db.mu.Unlock()
+}
+
+// --- Stats and cache control ------------------------------------------------
+
+// SourceStatus describes one registered source in a Stats snapshot.
+type SourceStatus struct {
+	// Alias is the registered name.
+	Alias string `json:"alias"`
+	// Generation counts data versions: 1 after first registration,
+	// bumped by Replace*/InvalidateSource.
+	Generation uint64 `json:"generation"`
+}
+
+// Stats is a point-in-time snapshot of a DB: query counters, the
+// registered sources with their generations, and the artifact-cache
+// traffic. hummerd's /v1/stats endpoint serves this.
+type Stats struct {
+	// Queries counts Query calls; FuseQueries the subset that ran the
+	// fusion pipeline; QueryErrors the calls that failed.
+	Queries     uint64 `json:"queries"`
+	FuseQueries uint64 `json:"fuse_queries"`
+	QueryErrors uint64 `json:"query_errors"`
+	// Sources lists the registered aliases with generations, sorted
+	// by alias.
+	Sources []SourceStatus `json:"sources"`
+	// Cache reports artifact-cache entries and per-kind hit/miss/
+	// singleflight-share/eviction counters. The zero value when the
+	// cache is disabled.
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats snapshots the DB's counters. It is cheap: no sources are
+// loaded.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		Queries:     db.queries.Load(),
+		FuseQueries: db.fuseQueries.Load(),
+		QueryErrors: db.queryErrors.Load(),
 	}
-	db.pipeline.OnDuplicates = h
+	for _, alias := range db.repo.Aliases() {
+		st.Sources = append(st.Sources, SourceStatus{Alias: alias, Generation: db.repo.Generation(alias)})
+	}
+	if db.cache != nil {
+		st.Cache = db.cache.Stats()
+	}
+	return st
+}
+
+// PurgeCache drops every completed artifact from the cache and
+// returns how many were dropped (0 when the cache is disabled).
+// Purging is an operator convenience, not a correctness requirement:
+// stale artifacts already stop being addressed when their inputs
+// change, because keys are content fingerprints.
+func (db *DB) PurgeCache() int {
+	if db.cache == nil {
+		return 0
+	}
+	return db.cache.Purge()
 }
 
 // NewTable starts a fluent builder for an in-memory relation:

@@ -7,9 +7,9 @@ import (
 	"testing"
 )
 
-func studentDB(t *testing.T) *DB {
+func studentDB(t *testing.T, opts ...Option) *DB {
 	t.Helper()
-	db := New()
+	db := New(opts...)
 	ee := NewTable("EE_Student", "Name", "Age", "City").
 		AddText("Jonathan Smith", "21", "Berlin").
 		AddText("Maria Garcia", "24", "Hamburg").

@@ -208,8 +208,6 @@ func TestMultiFormatFusion(t *testing.T) {
 	}
 	db := New()
 	db.repo = repo
-	db.pipeline.Repo = repo
-	db.executor.Repo = repo
 	res, err := db.Query("SELECT Name, RESOLVE(Age, max), RESOLVE(Field, coalesce) FUSE FROM a, b, c FUSE BY (Name) ORDER BY Name")
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,7 @@ import (
 	"hummer/internal/expr"
 	"hummer/internal/fusion"
 	"hummer/internal/metadata"
+	"hummer/internal/qcache"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
 	"hummer/internal/value"
@@ -99,6 +100,13 @@ type Pipeline struct {
 	// Registry resolves conflict-resolution functions; nil means the
 	// built-in registry.
 	Registry *fusion.Registry
+	// Cache, when set, is consulted before the expensive phases:
+	// DUMAS match results and duplicate-detection results are keyed by
+	// the content fingerprints of their input relations plus the phase
+	// configuration, so repeated and overlapping queries skip the
+	// recomputation entirely. Cached artifacts are shared across
+	// queries and must not be mutated.
+	Cache *qcache.Cache
 
 	// OnCorrespondences (wizard step 2) may add, drop or rescore the
 	// correspondences DUMAS proposed for one source before they are
@@ -109,7 +117,9 @@ type Pipeline struct {
 	OnAttributes func(proposed []string) []string
 	// OnDuplicates (wizard step 4) may adjust the detected clustering
 	// by returning replacement object ids (same length as rows);
-	// returning nil keeps the detection result.
+	// returning nil keeps the detection result. det may be a cached
+	// artifact shared across queries and must be treated as
+	// read-only — adjust by returning ids, never by mutating det.
 	OnDuplicates func(det *dupdetect.Result, merged *relation.Relation) []int
 }
 
@@ -175,7 +185,7 @@ func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
 			}
 			detectCfg.Attributes = attrs
 		}
-		det, err := dupdetect.Detect(res.Merged, detectCfg)
+		det, err := p.detect(res.Merged, detectCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -215,6 +225,44 @@ func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// match runs DUMAS schema matching, consulting the artifact cache
+// when one is installed: the key is the content fingerprint of both
+// relations plus the match configuration, so any data or config
+// change misses while a repeated or overlapping query hits. The
+// singleflight inside the cache makes a thundering herd of identical
+// queries compute the artifact once.
+func (p *Pipeline) match(left, right *relation.Relation, cfg dumas.Config) (*dumas.Result, error) {
+	if p.Cache == nil {
+		return dumas.Match(left, right, cfg)
+	}
+	key := qcache.MatchKey(qcache.FingerprintRelation(left), qcache.FingerprintRelation(right), cfg)
+	v, _, err := p.Cache.Do(key, func() (any, error) {
+		return dumas.Match(left, right, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*dumas.Result), nil
+}
+
+// detect runs duplicate detection, consulting the artifact cache when
+// one is installed; the key covers the merged relation's content (so
+// WHERE-filtered variants key separately) and the full detection
+// configuration including the resolved attribute selection.
+func (p *Pipeline) detect(rel *relation.Relation, cfg dupdetect.Config) (*dupdetect.Result, error) {
+	if p.Cache == nil {
+		return dupdetect.Detect(rel, cfg)
+	}
+	key := qcache.DetectKey(qcache.FingerprintRelation(rel), cfg)
+	v, _, err := p.Cache.Do(key, func() (any, error) {
+		return dupdetect.Detect(rel, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*dupdetect.Result), nil
+}
+
 // matchAndTransform aligns every source after the first with the
 // preferred schema (the first source, per the paper: "favoring the
 // first source mentioned in the query"), renames matched attributes,
@@ -231,7 +279,7 @@ func (p *Pipeline) matchAndTransform(res *Result, opts Options) error {
 		var mres *dumas.Result
 		if reference.Len() > 0 && src.Len() > 0 {
 			var err error
-			mres, err = dumas.Match(reference, src, opts.Match)
+			mres, err = p.match(reference, src, opts.Match)
 			if err != nil {
 				return fmt.Errorf("core: matching %q against %q: %w", src.Name(), reference.Name(), err)
 			}
@@ -240,7 +288,10 @@ func (p *Pipeline) matchAndTransform(res *Result, opts Options) error {
 			mres = &dumas.Result{}
 		}
 		if p.OnCorrespondences != nil {
-			corrs = p.OnCorrespondences(src.Name(), corrs)
+			// The hook's contract invites in-place adjustment, but a
+			// cached mres is shared across queries: hand the hook its
+			// own copy so it can never poison the cached artifact.
+			corrs = p.OnCorrespondences(src.Name(), append([]dumas.Correspondence(nil), corrs...))
 		}
 		res.Matches = append(res.Matches, mres)
 

@@ -3,6 +3,8 @@ package dupdetect
 import (
 	"sort"
 	"strings"
+
+	"hummer/internal/strsim"
 )
 
 // Candidate-pair generation. Every strategy is expressed as a pairGen:
@@ -12,7 +14,7 @@ import (
 // canonical order is what makes the two paths produce byte-identical
 // results.
 //
-// Three strategies exist:
+// Four strategies exist:
 //
 //   - exhaustive: every pair, row-major — n·(n-1)/2 candidates. The
 //     paper's O(n²) default.
@@ -26,6 +28,10 @@ import (
 //     emitted once, on its first discovery. Oversized blocks (more
 //     than maxBlockRows rows share a prefix) carry almost no
 //     discriminating power and are skipped.
+//   - q-gram blocking (Config.QGrams): like blocking, but each padded
+//     q-gram of the value's normalized prefix is a key, so a typo
+//     inside the prefix still leaves agreeing grams — the dumas
+//     candidate scheme ported to detection.
 
 // pairGen enumerates candidate pairs in canonical order. It stops
 // early when yield returns false.
@@ -95,11 +101,17 @@ func windowPairs(keys []string, window int) pairGen {
 	}
 }
 
-// blockingPairs streams the multi-pass prefix-blocking pairs. Passes
-// run in selected-attribute order; within a pass, blocks run in sorted
-// key order and pairs in row order. The seen set deduplicates across
-// passes, so each pair is yielded exactly once, deterministically.
-func blockingPairs(m *measure, prefixLen int) pairGen {
+// multiPassBlocks is the shared multi-pass block-emission machinery
+// behind the key-based blocking strategies. keysOf returns the
+// blocking keys of row i under selected attribute k (nil or empty
+// keys are skipped; NULL cells are already filtered by the caller's
+// keysOf). Passes run in selected-attribute order; within a pass,
+// blocks run in sorted key order and pairs in row order. Oversized
+// blocks (more than maxBlockRows members) carry almost no
+// discriminating power and are skipped. The seen set deduplicates
+// across keys and passes, so each pair is yielded exactly once,
+// deterministically.
+func multiPassBlocks(m *measure, keysOf func(i, k int) []string) pairGen {
 	n := len(m.texts)
 	return func(yield func(a, b int) bool) {
 		seen := make(map[uint64]struct{})
@@ -109,11 +121,12 @@ func blockingPairs(m *measure, prefixLen int) pairGen {
 				if m.null[i][k] {
 					continue
 				}
-				key := runePrefix(m.runes[i][k], prefixLen)
-				if key == "" {
-					continue
+				for _, key := range keysOf(i, k) {
+					if key == "" {
+						continue
+					}
+					blocks[key] = append(blocks[key], i)
 				}
-				blocks[key] = append(blocks[key], i)
 			}
 			keys := make([]string, 0, len(blocks))
 			for key := range blocks {
@@ -143,6 +156,22 @@ func blockingPairs(m *measure, prefixLen int) pairGen {
 	}
 }
 
+// blockingPairs streams the multi-pass prefix-blocking pairs: one key
+// per cell, the first prefixLen runes of the normalized value. buf is
+// reused across cells — multiPassBlocks consumes the keys before the
+// next keysOf call.
+func blockingPairs(m *measure, prefixLen int) pairGen {
+	var buf [1]string
+	return multiPassBlocks(m, func(i, k int) []string {
+		key := runePrefix(m.runes[i][k], prefixLen)
+		if key == "" {
+			return nil
+		}
+		buf[0] = key
+		return buf[:]
+	})
+}
+
 // runePrefix returns the first p runes of rs as a string (the whole
 // value when shorter).
 func runePrefix(rs []rune, p int) string {
@@ -150,6 +179,46 @@ func runePrefix(rs []rune, p int) string {
 		return string(rs)
 	}
 	return string(rs[:p])
+}
+
+// qgramPrefixRunes is how much of an attribute value the q-gram
+// blocking strategy derives its keys from — the same horizon the
+// dumas scheme uses: long enough to cover the identifying head of the
+// value, short enough that keys stay discriminating.
+const qgramPrefixRunes = 10
+
+// qgramPairs streams the multi-pass q-gram blocking pairs — the dumas
+// candidate scheme ported to single-relation detection: every padded
+// q-gram of the value's normalized prefix is a blocking key. Unlike
+// plain prefix blocking, a typo inside the prefix leaves the value's
+// other grams intact, so the pair is still discovered through an
+// agreeing gram. Empty (non-null) values yield no keys: their grams
+// would be pure padding, herding every empty cell of an attribute
+// into one meaningless block.
+func qgramPairs(m *measure, q int) pairGen {
+	return multiPassBlocks(m, func(i, k int) []string {
+		if len(m.runes[i][k]) == 0 {
+			return nil
+		}
+		return dedupSortedStrings(strsim.QGrams(runePrefix(m.runes[i][k], qgramPrefixRunes), q))
+	})
+}
+
+// dedupSortedStrings returns the sorted distinct strings of s,
+// reordering s in place.
+func dedupSortedStrings(s []string) []string {
+	if len(s) <= 1 {
+		return s
+	}
+	sort.Strings(s)
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
 }
 
 // candidateGen selects the strategy for cfg over the measured
@@ -161,6 +230,8 @@ func candidateGen(m *measure, cfg Config) pairGen {
 		return windowPairs(m.sortKeys(), cfg.Window)
 	case cfg.Blocking > 0:
 		return blockingPairs(m, cfg.Blocking)
+	case cfg.QGrams > 0:
+		return qgramPairs(m, cfg.QGrams)
 	default:
 		return exhaustivePairs(len(m.texts))
 	}

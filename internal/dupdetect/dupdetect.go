@@ -25,7 +25,11 @@
 //     recall on far-sorting duplicates for near-linear cost.
 //   - blocking (Config.Blocking > 0): multi-pass prefix blocking, one
 //     pass per selected attribute; rows sharing the first Blocking
-//     runes of an attribute's normalized value are compared. Unlike
+//     runes of an attribute's normalized value are compared.
+//   - q-gram blocking (Config.QGrams > 0): like prefix blocking, but
+//     the keys are the padded q-grams of each attribute value's
+//     normalized prefix, so a typo inside the prefix still leaves
+//     other grams agreeing — recall survives dirty prefixes. Unlike
 //     the single sorted key, a pair only needs to agree on a prefix of
 //     *some* attribute to become a candidate.
 //
@@ -93,8 +97,17 @@ type Config struct {
 	// value form a block, and only rows sharing a block are compared.
 	// Recall survives a dirty attribute as long as some other selected
 	// attribute still agrees on its prefix. Mutually exclusive with
-	// Window.
+	// Window and QGrams.
 	Blocking int
+	// QGrams, when positive, switches candidate generation to q-gram
+	// blocking with grams of this length — the dumas key scheme
+	// ported to detection: for each selected attribute, the padded
+	// q-grams of the attribute value's normalized prefix become
+	// blocking keys, and rows sharing any key are compared. A typo
+	// inside the prefix still leaves the remaining grams agreeing, so
+	// recall survives dirty prefixes that defeat plain prefix
+	// Blocking. Mutually exclusive with Window and Blocking.
+	QGrams int
 	// Parallelism is the number of worker goroutines that score
 	// candidate pairs: 0 means GOMAXPROCS, 1 forces the sequential
 	// path. The Result is byte-identical at every worker count.
@@ -152,8 +165,14 @@ type Result struct {
 // Detect finds duplicate clusters in rel.
 func Detect(rel *relation.Relation, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Window > 0 && cfg.Blocking > 0 {
-		return nil, fmt.Errorf("dupdetect: Window and Blocking are mutually exclusive candidate strategies")
+	strategies := 0
+	for _, knob := range []int{cfg.Window, cfg.Blocking, cfg.QGrams} {
+		if knob > 0 {
+			strategies++
+		}
+	}
+	if strategies > 1 {
+		return nil, fmt.Errorf("dupdetect: Window, Blocking and QGrams are mutually exclusive candidate strategies")
 	}
 	attrs := cfg.Attributes
 	if len(attrs) == 0 {

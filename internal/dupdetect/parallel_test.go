@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+
+	"hummer/internal/relation"
 )
 
 // requireIdentical asserts two detection results are deep-equal —
@@ -28,6 +30,7 @@ func TestPropertyParallelDeterministic(t *testing.T) {
 			{Threshold: 0.8},
 			{Threshold: 0.7, Window: 3},
 			{Threshold: 0.8, Blocking: 2},
+			{Threshold: 0.8, QGrams: 3},
 			{Threshold: 0.8, DisableFilter: true},
 		}
 		for ci, base := range configs {
@@ -177,11 +180,96 @@ func TestBlockingNoDuplicateCandidates(t *testing.T) {
 	}
 }
 
-// TestWindowAndBlockingExclusive: setting both strategies is a
+// TestWindowAndBlockingExclusive: setting several strategies is a
 // configuration error, not a silent precedence choice.
 func TestWindowAndBlockingExclusive(t *testing.T) {
-	_, err := Detect(dirtyPeople(), Config{Window: 3, Blocking: 3})
-	if err == nil {
-		t.Fatal("Window+Blocking accepted; want error")
+	for _, cfg := range []Config{
+		{Window: 3, Blocking: 3},
+		{Window: 3, QGrams: 3},
+		{Blocking: 3, QGrams: 3},
+		{Window: 3, Blocking: 3, QGrams: 3},
+	} {
+		if _, err := Detect(dirtyPeople(), cfg); err == nil {
+			t.Fatalf("%+v accepted; want mutual-exclusion error", cfg)
+		}
+	}
+}
+
+// dirtyPrefixPeople holds a duplicate pair whose every attribute has a
+// typo in the very first character — the worst case for prefix
+// blocking, which keys on leading runes.
+func dirtyPrefixPeople() *relation.Relation {
+	return relation.NewBuilder("merged", "sourceID", "Name", "City", "Email").
+		AddText("s1", "Katherine Johnson", "Pasadena", "kath@example.com").
+		AddText("s2", "Xatherine Johnson", "Qasadena", "xath@example.com").
+		AddText("s1", "Dorothy Vaughan", "Hampton", "dot@example.org").
+		AddText("s2", "Mary Jackson", "Newport", "mary@example.net").
+		AddText("s1", "Annie Easley", "Cleveland", "annie@example.com").
+		Build()
+}
+
+// TestQGramsRecallSurvivesDirtyPrefixes is the strategy-recall test
+// for the ported dumas q-gram key scheme: when every attribute of a
+// duplicate pair carries a first-character typo, plain prefix
+// blocking generates no candidate for the pair at all, while q-gram
+// blocking still discovers it through the agreeing interior grams —
+// and clusters it exactly like the exhaustive reference.
+func TestQGramsRecallSurvivesDirtyPrefixes(t *testing.T) {
+	rel := dirtyPrefixPeople()
+
+	ex, err := Detect(rel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.ObjectIDs[0] != ex.ObjectIDs[1] {
+		t.Fatalf("fixture invalid: exhaustive detection must cluster the typo pair: %v", ex.ObjectIDs)
+	}
+
+	pb, err := Detect(rel, Config{Blocking: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.ObjectIDs[0] == pb.ObjectIDs[1] {
+		t.Fatal("prefix blocking unexpectedly found the dirty-prefix pair; fixture no longer distinguishes the strategies")
+	}
+
+	qg, err := Detect(rel, Config{QGrams: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg.ObjectIDs[0] != qg.ObjectIDs[1] {
+		t.Errorf("q-gram blocking missed the dirty-prefix pair: %v", qg.ObjectIDs)
+	}
+	if !reflect.DeepEqual(qg.ObjectIDs, ex.ObjectIDs) {
+		t.Errorf("q-gram clustering differs from exhaustive:\nqgrams:     %v\nexhaustive: %v",
+			qg.ObjectIDs, ex.ObjectIDs)
+	}
+}
+
+// TestQGramsReducesCandidates: q-gram blocking must consider fewer
+// pairs than the exhaustive sweep on a diverse table while still
+// producing candidates.
+func TestQGramsReducesCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rel := randomDirtyTable(rng)
+	ex, err := Detect(rel, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qg, err := Detect(rel, Config{QGrams: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg.Stats.CandidatePairs >= ex.Stats.CandidatePairs {
+		t.Errorf("q-grams considered %d pairs, exhaustive %d",
+			qg.Stats.CandidatePairs, ex.Stats.CandidatePairs)
+	}
+	if qg.Stats.CandidatePairs == 0 {
+		t.Error("q-grams produced no candidates at all")
+	}
+	n := rel.Len()
+	if qg.Stats.CandidatePairs > n*(n-1)/2 {
+		t.Errorf("%d candidates exceed the %d distinct pairs (cross-gram dedup broken)",
+			qg.Stats.CandidatePairs, n*(n-1)/2)
 	}
 }

@@ -6,12 +6,18 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
+	"hummer"
 	"hummer/internal/core"
 	"hummer/internal/datagen"
 	"hummer/internal/dumas"
@@ -19,8 +25,10 @@ import (
 	"hummer/internal/eval"
 	"hummer/internal/fusion"
 	"hummer/internal/metadata"
+	"hummer/internal/qcache"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
+	"hummer/internal/server"
 	"hummer/internal/thalia"
 	"hummer/internal/value"
 )
@@ -693,6 +701,160 @@ func E13(seed int64, sizes []int) *Report {
 	return rep
 }
 
+// E14 measures served-query performance through hummerd's HTTP API:
+// a test server over one shared DB with the versioned artifact cache.
+// One FUSE BY query is served cold (computing the DUMAS match and the
+// duplicate detection), then the same query is served warm —
+// sequentially and from concurrent clients — where every expensive
+// artifact comes from the cache. The "identical" column asserts that
+// each warm HTTP response is byte-identical to the cold one, and the
+// hit-rate column is read back through the /v1/stats endpoint, so the
+// numbers in BENCH_*.json certify the cache from the outside.
+func E14(seed int64, entities, warmQueries, clients int) *Report {
+	if clients < 1 {
+		clients = 1
+	}
+	if clients > warmQueries {
+		clients = warmQueries // at least one query per client, no 0-query rows
+	}
+	rep := &Report{
+		ID:    "E14",
+		Title: fmt.Sprintf("hummerd served-query throughput, cold vs warm (persons, %d entities, 2 sources)", entities),
+		Header: []string{"phase", "queries", "clients", "total", "per query", "q/s",
+			"cache hit rate", "identical"},
+		Notes: "warm queries skip DUMAS + duplicate detection entirely (artifact cache); identical = every warm response byte-equals the cold one",
+	}
+
+	ents := datagen.Persons.Generate(seed, entities)
+	left := datagen.ObserveShuffled(datagen.Persons, ents, datagen.SourceSpec{
+		Alias: "s1", TypoRate: 0.1, NullRate: 0.05, Seed: seed + 9,
+	})
+	right := datagen.ObserveShuffled(datagen.Persons, ents, datagen.SourceSpec{
+		Alias: "s2", Renames: personRenames, TypoRate: 0.1, NullRate: 0.05, Seed: seed + 10,
+	})
+	db := hummer.New()
+	if err := db.RegisterTable("s1", left.Rel); err != nil {
+		rep.Notes = "setup error: " + err.Error()
+		return rep
+	}
+	if err := db.RegisterTable("s2", right.Rel); err != nil {
+		rep.Notes = "setup error: " + err.Error()
+		return rep
+	}
+	ts := httptest.NewServer(server.New(db).Handler())
+	defer ts.Close()
+
+	const query = `SELECT Name, RESOLVE(Age, max) FUSE FROM s1, s2 FUSE BY (Name) ORDER BY Name`
+	body, err := json.Marshal(map[string]string{"sql": query})
+	if err != nil {
+		rep.Notes = "setup error: " + err.Error()
+		return rep
+	}
+	post := func() ([]byte, error) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != 200 {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+		}
+		return data, nil
+	}
+	hitRate := func() float64 {
+		resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+		if err != nil {
+			return -1
+		}
+		defer resp.Body.Close()
+		var st struct {
+			DB struct {
+				Cache qcache.Stats `json:"cache"`
+			} `json:"db"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return -1
+		}
+		return st.DB.Cache.HitRate()
+	}
+	rows := left.Rel.Len() + right.Rel.Len()
+	addRow := func(phase string, queries, clients int, dur int64, identical string) {
+		perQuery := dur / int64(queries)
+		qps := "-"
+		if dur > 0 {
+			qps = fmt.Sprintf("%.0f", float64(queries)/(float64(dur)/1e9))
+		}
+		rep.Rows = append(rep.Rows, []string{
+			phase, fmt.Sprint(queries), fmt.Sprint(clients),
+			fmtDuration(dur), fmtDuration(perQuery), qps,
+			fmt.Sprintf("%.0f%%", hitRate()*100), identical,
+		})
+		rep.Samples = append(rep.Samples, BenchSample{
+			Name: "e14/" + phase, Rows: rows, Workers: clients,
+			Seconds: float64(dur) / 1e9,
+		})
+	}
+
+	// Cold: the one query that computes the artifacts.
+	t0 := nowMono()
+	cold, err := post()
+	coldDur := nowMono() - t0
+	if err != nil {
+		rep.Notes = "cold query error: " + err.Error()
+		return rep
+	}
+	addRow("cold", 1, 1, coldDur, "-")
+
+	// Warm, sequential: pure cache-served latency.
+	identical := "yes"
+	t1 := nowMono()
+	for i := 0; i < warmQueries; i++ {
+		warm, err := post()
+		if err != nil {
+			rep.Notes = "warm query error: " + err.Error()
+			return rep
+		}
+		if !bytes.Equal(warm, cold) {
+			identical = "NO"
+		}
+	}
+	addRow("warm sequential", warmQueries, 1, nowMono()-t1, identical)
+
+	// Warm, concurrent: clients hammering the same statement.
+	identical = "yes"
+	var mu sync.Mutex
+	var firstErr error
+	t2 := nowMono()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < warmQueries/clients; i++ {
+				warm, err := post()
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				} else if err == nil && !bytes.Equal(warm, cold) {
+					identical = "NO"
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		rep.Notes = "concurrent query error: " + firstErr.Error()
+		return rep
+	}
+	addRow("warm concurrent", (warmQueries/clients)*clients, clients, nowMono()-t2, identical)
+	return rep
+}
+
 // e12QuickSizes keeps the default suite (and its tests) fast; the full
 // {1k, 5k, 20k} scale-up is an explicit hummer-bench -sizes run.
 var e12QuickSizes = []int{400, 1200}
@@ -700,6 +862,15 @@ var e12QuickSizes = []int{400, 1200}
 // e13QuickSizes: the 900×900 sweep is the acceptance size for the
 // parallel matcher; 300 shows the trend.
 var e13QuickSizes = []int{300, 900}
+
+// E14 defaults: a workload big enough that the cold query visibly
+// pays for matching + detection, and enough warm queries that the
+// served throughput number is stable.
+const (
+	e14Entities    = 400
+	e14WarmQueries = 64
+	e14Clients     = 8
+)
 
 // All runs every experiment with default parameters, in order.
 func All(seed int64) []*Report {
@@ -715,6 +886,7 @@ func All(seed int64) []*Report {
 		E11(seed, 80, 3),
 		E12(seed, e12QuickSizes),
 		E13(seed, e13QuickSizes),
+		E14(seed, e14Entities, e14WarmQueries, e14Clients),
 	}
 }
 
@@ -743,6 +915,8 @@ func ByID(id string, seed int64) *Report {
 		return E12(seed, e12QuickSizes)
 	case "e13":
 		return E13(seed, e13QuickSizes)
+	case "e14":
+		return E14(seed, e14Entities, e14WarmQueries, e14Clients)
 	default:
 		return nil
 	}
@@ -750,7 +924,7 @@ func ByID(id string, seed int64) *Report {
 
 // IDs lists the experiment ids ByID accepts, in canonical run order.
 func IDs() []string {
-	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"}
+	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
 }
 
 func minInt(a, b int) int {

@@ -198,6 +198,33 @@ func TestE13ParallelIdenticalAndMeasured(t *testing.T) {
 	}
 }
 
+func TestE14WarmServedFromCacheAndIdentical(t *testing.T) {
+	rep := E14(7, 120, 16, 4)
+	if len(rep.Rows) != 3 { // cold, warm sequential, warm concurrent
+		t.Fatalf("rows = %d in %v (notes: %s)", len(rep.Rows), rep.Rows, rep.Notes)
+	}
+	if strings.Contains(rep.Notes, "error") {
+		t.Fatalf("experiment errored: %s", rep.Notes)
+	}
+	for _, row := range rep.Rows[1:] {
+		if row[7] != "yes" {
+			t.Errorf("phase %s: warm response not byte-identical to cold", row[0])
+		}
+		// Warm phases must be overwhelmingly cache-served.
+		if row[6] == "0%" || row[6] == "-" {
+			t.Errorf("phase %s: no cache hits reported (%s)", row[0], row[6])
+		}
+	}
+	if len(rep.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(rep.Samples))
+	}
+	for _, s := range rep.Samples {
+		if s.Seconds < 0 || s.Rows == 0 {
+			t.Errorf("degenerate sample %+v", s)
+		}
+	}
+}
+
 func TestByIDAndIDs(t *testing.T) {
 	for _, id := range IDs() {
 		if ByID(id, 7) == nil {

@@ -25,6 +25,18 @@ type Expr interface {
 	Eval(row relation.Row) value.Value
 	// String renders the expression in SQL-like syntax.
 	String() string
+	// Clone deep-copies the expression tree. Bind mutates binding
+	// state in place, so an expression shared between executions
+	// (e.g. a cached query plan) must be cloned before each Bind.
+	Clone() Expr
+}
+
+// CloneExpr clones e, passing nil through (absent WHERE/HAVING).
+func CloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return e.Clone()
 }
 
 // --- Column reference -------------------------------------------------
@@ -58,6 +70,9 @@ func (c *Col) Eval(row relation.Row) value.Value {
 
 func (c *Col) String() string { return c.Name }
 
+// Clone copies the reference (binding state included).
+func (c *Col) Clone() Expr { cp := *c; return &cp }
+
 // --- Literal ----------------------------------------------------------
 
 // Lit is a constant value.
@@ -78,6 +93,9 @@ func (l *Lit) String() string {
 	}
 	return l.Val.String()
 }
+
+// Clone copies the literal (values are immutable).
+func (l *Lit) Clone() Expr { cp := *l; return &cp }
 
 // --- Comparison -------------------------------------------------------
 
@@ -145,6 +163,9 @@ func (c *Cmp) String() string {
 	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
 }
 
+// Clone deep-copies both operands.
+func (c *Cmp) Clone() Expr { return &Cmp{Op: c.Op, Left: c.Left.Clone(), Right: c.Right.Clone()} }
+
 // --- Boolean connectives ----------------------------------------------
 
 // BoolOp enumerates boolean connectives.
@@ -211,6 +232,11 @@ func (g *Logic) String() string {
 	return fmt.Sprintf("(%s %s %s)", g.Left, g.Op, g.Right)
 }
 
+// Clone deep-copies both operands.
+func (g *Logic) Clone() Expr {
+	return &Logic{Op: g.Op, Left: g.Left.Clone(), Right: g.Right.Clone()}
+}
+
 // Not negates a boolean expression; NOT NULL is NULL.
 type Not struct{ Inner Expr }
 
@@ -233,6 +259,9 @@ func (n *Not) Eval(row relation.Row) value.Value {
 }
 
 func (n *Not) String() string { return fmt.Sprintf("NOT (%s)", n.Inner) }
+
+// Clone deep-copies the operand.
+func (n *Not) Clone() Expr { return &Not{Inner: n.Inner.Clone()} }
 
 type tri uint8
 
@@ -282,6 +311,9 @@ func (p *IsNull) String() string {
 	}
 	return fmt.Sprintf("%s IS NULL", p.Inner)
 }
+
+// Clone deep-copies the operand.
+func (p *IsNull) Clone() Expr { return &IsNull{Inner: p.Inner.Clone(), Negate: p.Negate} }
 
 // --- Arithmetic -------------------------------------------------------
 
@@ -363,6 +395,11 @@ func (a *Arith) String() string {
 	return fmt.Sprintf("(%s %s %s)", a.Left, a.Op, a.Right)
 }
 
+// Clone deep-copies both operands.
+func (a *Arith) Clone() Expr {
+	return &Arith{Op: a.Op, Left: a.Left.Clone(), Right: a.Right.Clone()}
+}
+
 // --- LIKE -------------------------------------------------------------
 
 // Like implements SQL LIKE with % and _ wildcards.
@@ -396,6 +433,11 @@ func (l *Like) String() string {
 		op = "NOT LIKE"
 	}
 	return fmt.Sprintf("%s %s '%s'", l.Inner, op, l.Pattern)
+}
+
+// Clone deep-copies the operand.
+func (l *Like) Clone() Expr {
+	return &Like{Inner: l.Inner.Clone(), Pattern: l.Pattern, Negate: l.Negate}
 }
 
 // likeMatch matches SQL LIKE patterns (case-insensitive, the common
@@ -471,4 +513,9 @@ func (in *In) String() string {
 		op = "NOT IN"
 	}
 	return fmt.Sprintf("%s %s (%s)", in.Inner, op, strings.Join(parts, ", "))
+}
+
+// Clone deep-copies the operand and the literal list.
+func (in *In) Clone() Expr {
+	return &In{Inner: in.Inner.Clone(), List: append([]value.Value(nil), in.List...), Negate: in.Negate}
 }

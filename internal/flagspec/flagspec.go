@@ -1,0 +1,41 @@
+// Package flagspec holds the source-registration flag parsing shared
+// by the hummer CLI and the hummerd server: repeatable alias=path
+// specs and the XML path:recordTag form.
+package flagspec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Multi collects repeatable -key=value flags.
+type Multi []string
+
+// String implements flag.Value.
+func (m *Multi) String() string { return strings.Join(*m, ",") }
+
+// Set implements flag.Value.
+func (m *Multi) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// Split splits a spec at the first occurrence of sep, rejecting empty
+// halves (the alias=path form).
+func Split(spec, sep string) (string, string, error) {
+	i := strings.Index(spec, sep)
+	if i <= 0 || i == len(spec)-1 {
+		return "", "", fmt.Errorf("want key%svalue", sep)
+	}
+	return spec[:i], spec[i+1:], nil
+}
+
+// SplitPathTag splits path:recordTag at the *last* colon: record tags
+// cannot contain colons, but paths can (e.g. versioned directories).
+func SplitPathTag(spec string) (string, string, error) {
+	i := strings.LastIndex(spec, ":")
+	if i <= 0 || i == len(spec)-1 {
+		return "", "", fmt.Errorf("want path:recordTag")
+	}
+	return spec[:i], spec[i+1:], nil
+}

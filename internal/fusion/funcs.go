@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"hummer/internal/relation"
 	"hummer/internal/schema"
@@ -80,8 +81,11 @@ type Spec struct {
 var Coalesce = Spec{Name: "coalesce"}
 
 // Registry maps function names to implementations. It is extensible:
-// HumMer explicitly allows registering new functions.
+// HumMer explicitly allows registering new functions, and a registry
+// backing a long-lived query service is read concurrently, so it is
+// safe for concurrent use.
 type Registry struct {
+	mu    sync.RWMutex
 	funcs map[string]Func
 }
 
@@ -97,21 +101,27 @@ func NewRegistry() *Registry {
 
 // Register adds or replaces a function. Names are case-insensitive.
 func (r *Registry) Register(name string, f Func) {
+	r.mu.Lock()
 	r.funcs[strings.ToLower(name)] = f
+	r.mu.Unlock()
 }
 
 // Lookup resolves a function name.
 func (r *Registry) Lookup(name string) (Func, bool) {
+	r.mu.RLock()
 	f, ok := r.funcs[strings.ToLower(name)]
+	r.mu.RUnlock()
 	return f, ok
 }
 
 // Names returns the registered function names, sorted.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
 	names := make([]string, 0, len(r.funcs))
 	for n := range r.funcs {
 		names = append(names, n)
 	}
+	r.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }

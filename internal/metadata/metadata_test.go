@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hummer/internal/relation"
@@ -37,17 +38,147 @@ func TestRegisterAndGetRelation(t *testing.T) {
 	}
 }
 
-func TestDuplicateAliasRejected(t *testing.T) {
+func TestDuplicateAliasSemantics(t *testing.T) {
 	repo := NewRepository()
-	rel := relation.NewBuilder("x", "a").Build()
+	rel := relation.NewBuilder("x", "a").AddText("1").Build()
 	if err := repo.RegisterRelation("s", rel); err != nil {
 		t.Fatal(err)
 	}
-	if err := repo.RegisterRelation("S", rel); err == nil {
-		t.Error("case-colliding alias must be rejected")
+	// Same alias (case-insensitively), same data: idempotent no-op.
+	if err := repo.RegisterRelation("S", rel); err != nil {
+		t.Errorf("idempotent re-registration must succeed, got %v", err)
+	}
+	same := relation.NewBuilder("other-name", "a").AddText("1").Build()
+	if err := repo.RegisterRelation("s", same); err != nil {
+		t.Errorf("re-registration with equal data must succeed, got %v", err)
+	}
+	if got := repo.Generation("s"); got != 1 {
+		t.Errorf("idempotent re-registration must not bump the generation: %d", got)
+	}
+	// Same alias, different data: a clear error, never a silent
+	// overwrite.
+	diff := relation.NewBuilder("x", "a").AddText("2").Build()
+	err := repo.RegisterRelation("s", diff)
+	if err == nil {
+		t.Fatal("re-registering an alias with different data must error")
+	}
+	if !strings.Contains(err.Error(), "different data") {
+		t.Errorf("error must say the data differs: %v", err)
+	}
+	// The original data must still be served.
+	got, err := repo.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Row(0)[0].Text() != "1" {
+		t.Errorf("alias data silently overwritten: %v", got.Row(0)[0])
 	}
 	if err := repo.RegisterRelation("", rel); err == nil {
 		t.Error("empty alias must be rejected")
+	}
+}
+
+func TestReplaceBumpsGeneration(t *testing.T) {
+	repo := NewRepository()
+	v1 := relation.NewBuilder("t", "a").AddText("1").Build()
+	if err := repo.RegisterRelation("s", v1); err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := repo.Fingerprint("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := relation.NewBuilder("t", "a").AddText("2").Build()
+	if err := repo.Replace(NewRelationSource("s", v2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := repo.Generation("s"); got != 2 {
+		t.Errorf("generation after Replace = %d, want 2", got)
+	}
+	fp2, err := repo.Fingerprint("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Error("fingerprint must change when the data changes")
+	}
+	got, err := repo.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Row(0)[0].Text() != "2" {
+		t.Errorf("Replace must serve the new data, got %v", got.Row(0)[0])
+	}
+}
+
+// gatedSource lets a test hold a Load in flight while the repository
+// is mutated underneath it.
+type gatedSource struct {
+	alias   string
+	started chan struct{}
+	release chan struct{}
+	rel     *relation.Relation
+}
+
+func (s *gatedSource) Alias() string { return s.alias }
+
+func (s *gatedSource) Load() (*relation.Relation, error) {
+	close(s.started)
+	<-s.release
+	return s.rel, nil
+}
+
+// TestGetDoesNotCacheStaleLoadAcrossReplace: a load that was in
+// flight when the alias was replaced must not install its stale rows
+// under the new generation — later Gets must serve the replacement.
+func TestGetDoesNotCacheStaleLoadAcrossReplace(t *testing.T) {
+	repo := NewRepository()
+	old := relation.NewBuilder("t", "a").AddText("old").Build()
+	src := &gatedSource{
+		alias: "s", started: make(chan struct{}), release: make(chan struct{}), rel: old,
+	}
+	if err := repo.Register(src); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		repo.Get("s") // starts loading the old source
+	}()
+	<-src.started
+	replacement := relation.NewBuilder("t", "a").AddText("new").Build()
+	if err := repo.Replace(NewRelationSource("s", replacement)); err != nil {
+		t.Fatal(err)
+	}
+	close(src.release)
+	<-done
+
+	got, err := repo.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txt := got.Row(0)[0].Text(); txt != "new" {
+		t.Fatalf("stale in-flight load was cached across Replace: serving %q, want %q", txt, "new")
+	}
+}
+
+func TestInvalidateBumpsGeneration(t *testing.T) {
+	repo := NewRepository()
+	rel := relation.NewBuilder("t", "a").AddText("1").Build()
+	if err := repo.RegisterRelation("s", rel); err != nil {
+		t.Fatal(err)
+	}
+	if got := repo.Generation("s"); got != 1 {
+		t.Fatalf("generation = %d, want 1", got)
+	}
+	repo.Invalidate("s")
+	if got := repo.Generation("s"); got != 2 {
+		t.Errorf("generation after Invalidate = %d, want 2", got)
+	}
+	// Invalidating an unknown alias must not create a generation.
+	repo.Invalidate("ghost")
+	if got := repo.Generation("ghost"); got != 0 {
+		t.Errorf("unknown alias generation = %d, want 0", got)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"hummer/internal/fusion"
 	"hummer/internal/lineage"
 	"hummer/internal/metadata"
+	"hummer/internal/qcache"
 	"hummer/internal/relation"
 	"hummer/internal/sql"
 )
@@ -51,13 +52,36 @@ type Executor struct {
 	// to fusion queries (duplicates used, candidate strategy,
 	// parallelism). The zero value means paper-faithful defaults.
 	Match dumas.Config
+	// Cache, when set, caches parsed statements by query text and is
+	// handed to pipelines built here so the match/detect phases reuse
+	// artifacts across queries.
+	Cache *qcache.Cache
 }
 
-// Query parses and executes one statement.
+// maxCachedPlanBytes bounds the statement text retained as a plan
+// cache key: parsing is linear and cheap, so giant statements gain
+// nothing from caching, and caching them would let clients pin
+// megabytes of query text per cache slot.
+const maxCachedPlanBytes = 8 << 10
+
+// Query parses and executes one statement. With a Cache installed the
+// parse result is cached by query text (statements small enough to be
+// worth retaining); each execution receives its own clone, since
+// binding mutates the expression trees.
 func (e *Executor) Query(q string) (*QueryResult, error) {
-	stmt, err := sql.Parse(q)
-	if err != nil {
-		return nil, err
+	var stmt *sql.Stmt
+	if e.Cache != nil && len(q) <= maxCachedPlanBytes {
+		v, _, err := e.Cache.Do(qcache.PlanKey(q), func() (any, error) { return sql.Parse(q) })
+		if err != nil {
+			return nil, err
+		}
+		stmt = v.(*sql.Stmt).Clone()
+	} else {
+		var err error
+		stmt, err = sql.Parse(q)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return e.Execute(stmt)
 }
@@ -81,7 +105,7 @@ func (e *Executor) executeFusion(stmt *sql.Stmt) (*QueryResult, error) {
 	}
 	p := e.Pipeline
 	if p == nil {
-		p = &core.Pipeline{Repo: e.Repo, Registry: e.Registry}
+		p = &core.Pipeline{Repo: e.Repo, Registry: e.Registry, Cache: e.Cache}
 	}
 	aliases := make([]string, len(stmt.Tables))
 	for i, t := range stmt.Tables {

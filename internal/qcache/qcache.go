@@ -1,0 +1,382 @@
+// Package qcache implements the versioned artifact cache behind
+// hummerd's query serving: the expensive intermediates of the FUSE BY
+// pipeline — DUMAS match results, duplicate-detection clusterings and
+// parsed query plans — are keyed by content fingerprints so that
+// repeated and overlapping queries skip recomputation entirely.
+//
+// # Keying and versioning
+//
+// Every artifact is addressed by a Key: a Kind (what phase produced
+// it) plus a fingerprint string derived from the *content* of its
+// inputs — the fingerprints of the participating relations and of the
+// phase configuration. Versioning is therefore structural: when a
+// source is replaced or its file re-loaded with different rows, its
+// relation fingerprint changes, every key derived from it changes, and
+// the stale entries simply stop being addressed (and age out of the
+// LRU). No invalidation protocol is needed for correctness; Purge
+// exists as an operator convenience.
+//
+// # Singleflight
+//
+// Concurrent lookups of the same key are deduplicated: the first
+// caller computes, the rest block until the value is ready and share
+// it (a thundering herd of identical queries computes each artifact
+// once). Failed computations are not cached — the next caller retries.
+//
+// Cached values are shared across goroutines and must be treated as
+// immutable by all consumers.
+package qcache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"hummer/internal/relation"
+)
+
+// Kind labels what pipeline phase an artifact came from. Stats are
+// reported per kind.
+type Kind string
+
+// The artifact kinds the pipeline caches.
+const (
+	// KindPlan is a parsed query plan, keyed by the statement text.
+	KindPlan Kind = "plan"
+	// KindMatch is a DUMAS schema-matching result, keyed by the two
+	// relation fingerprints and the match configuration.
+	KindMatch Kind = "match"
+	// KindDetect is a duplicate-detection result, keyed by the merged
+	// relation's fingerprint and the detection configuration.
+	KindDetect Kind = "detect"
+)
+
+// Key addresses one artifact.
+type Key struct {
+	Kind        Kind
+	Fingerprint string
+}
+
+// DefaultCapacity is the per-kind entry cap of a zero-configured
+// cache: small enough to bound memory on an artifact-heavy workload,
+// large enough that a realistic working set of queries stays
+// resident. Each artifact kind owns its own budget, so cheap plans
+// never evict expensive match/detect results.
+const DefaultCapacity = 256
+
+// KindStats counts one kind's cache traffic.
+type KindStats struct {
+	// Hits are lookups served from a completed entry.
+	Hits uint64 `json:"hits"`
+	// Misses are lookups that had to compute the artifact.
+	Misses uint64 `json:"misses"`
+	// Shared are lookups that piggybacked on an in-flight computation
+	// (singleflight): they neither hit nor computed.
+	Shared uint64 `json:"shared"`
+	// Evictions are completed entries dropped to respect the cap.
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats is a point-in-time snapshot of the cache.
+type Stats struct {
+	// Entries is the number of resident artifacts.
+	Entries int `json:"entries"`
+	// Capacity is the per-kind entry cap.
+	Capacity int `json:"capacity"`
+	// Kinds maps each artifact kind to its traffic counters.
+	Kinds map[Kind]KindStats `json:"kinds"`
+}
+
+// HitRate returns the fraction of lookups served without computing
+// (hits + shared over all lookups), 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	var served, total uint64
+	for _, ks := range s.Kinds {
+		served += ks.Hits + ks.Shared
+		total += ks.Hits + ks.Shared + ks.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// entry is one cache slot. ready is closed when val/err are final;
+// until then the entry is "in flight" and exempt from eviction.
+type entry struct {
+	key   Key
+	ready chan struct{}
+	val   any
+	err   error
+	// seq is the last-touch tick for LRU eviction.
+	seq uint64
+}
+
+// Cache is the versioned artifact cache. The zero value is not usable;
+// call New.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	tick    uint64
+	entries map[Key]*entry
+	stats   map[Kind]*KindStats
+}
+
+// New returns an empty cache holding at most capacity completed
+// entries per artifact kind (DefaultCapacity when capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[Key]*entry),
+		stats:   make(map[Kind]*KindStats),
+	}
+}
+
+// Do returns the artifact for key, computing it with compute on a
+// miss. Concurrent calls for the same key run compute exactly once;
+// the other callers block and share the outcome. hit reports whether
+// this call avoided computing (a completed entry or a shared
+// in-flight one). Errors are returned to every waiting caller but are
+// not cached: the entry is removed so a later call retries.
+func (c *Cache) Do(key Key, compute func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	ks := c.kindStatsLocked(key.Kind)
+	if e, ok := c.entries[key]; ok {
+		c.tick++
+		e.seq = c.tick
+		select {
+		case <-e.ready:
+			ks.Hits++
+			c.mu.Unlock()
+			return e.val, true, e.err
+		default:
+			ks.Shared++
+			c.mu.Unlock()
+			<-e.ready
+			return e.val, true, e.err
+		}
+	}
+	ks.Misses++
+	c.tick++
+	e := &entry{key: key, ready: make(chan struct{}), seq: c.tick}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	// A compute that panics (e.g. a parser bug on hostile input) must
+	// not wedge the key: waiters would block on ready forever and the
+	// in-flight entry is exempt from eviction and Purge. Fail the
+	// entry, release the waiters, then let the panic continue to the
+	// caller (hummerd's handler recovery).
+	defer func() {
+		if r := recover(); r != nil {
+			e.err = fmt.Errorf("qcache: computing %s artifact panicked: %v", key.Kind, r)
+			close(e.ready)
+			c.dropFailedEntry(key, e)
+			panic(r)
+		}
+	}()
+	e.val, e.err = compute()
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		c.mu.Unlock()
+		c.dropFailedEntry(key, e)
+	} else {
+		c.evictLocked(key.Kind)
+		c.mu.Unlock()
+	}
+	return e.val, false, e.err
+}
+
+// dropFailedEntry removes e so a later call retries — but only e
+// itself: a Purge + recompute may have installed a fresh entry under
+// the same key.
+func (c *Cache) dropFailedEntry(key Key, e *entry) {
+	c.mu.Lock()
+	if cur, ok := c.entries[key]; ok && cur == e {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+// Get returns the completed artifact for key without computing.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		select {
+		case <-e.ready:
+		default:
+			ok = false // in flight: not observable yet
+		}
+	}
+	if ok && e.err != nil {
+		ok = false
+	}
+	if ok {
+		c.tick++
+		e.seq = c.tick
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// evictLocked drops least-recently-used completed entries of the
+// just-inserted kind until that kind fits its cap. Eviction is
+// per-kind so a flood of cheap artifacts (256 distinct statements
+// parse in microseconds) can never evict the expensive ones (a DUMAS
+// match costs seconds) — each kind owns its own budget. In-flight
+// entries are never evicted (their callers hold references).
+func (c *Cache) evictLocked(kind Kind) {
+	for {
+		count := 0
+		var victim *entry
+		for _, e := range c.entries {
+			if e.key.Kind != kind {
+				continue
+			}
+			count++
+			select {
+			case <-e.ready:
+			default:
+				continue // in flight
+			}
+			if victim == nil || e.seq < victim.seq {
+				victim = e
+			}
+		}
+		if count <= c.cap || victim == nil {
+			return
+		}
+		delete(c.entries, victim.key)
+		c.kindStatsLocked(victim.key.Kind).Evictions++
+	}
+}
+
+// Purge drops every completed entry and returns how many were
+// dropped. In-flight computations are left to finish and insert
+// themselves.
+func (c *Cache) Purge() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, e := range c.entries {
+		select {
+		case <-e.ready:
+			delete(c.entries, k)
+			n++
+		default:
+		}
+	}
+	return n
+}
+
+// Len returns the number of resident entries (including in-flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{Entries: len(c.entries), Capacity: c.cap, Kinds: make(map[Kind]KindStats, len(c.stats))}
+	for k, ks := range c.stats {
+		out.Kinds[k] = *ks
+	}
+	return out
+}
+
+func (c *Cache) kindStatsLocked(k Kind) *KindStats {
+	ks, ok := c.stats[k]
+	if !ok {
+		ks = &KindStats{}
+		c.stats[k] = ks
+	}
+	return ks
+}
+
+// --- Fingerprints ---------------------------------------------------------
+
+// FingerprintRelation hashes a relation's content: name-independent
+// schema shape (column names and types, in order) plus every cell's
+// kind and length-prefixed text, in order, through SHA-256. Two
+// relations with equal schemas and equal rows in equal order
+// fingerprint identically; any cell change, row reorder, or schema
+// change produces a different fingerprint. The hash runs over the
+// actual cell content — not over composed 64-bit value hashes — and
+// is cryptographic, because clients of a serving DB control cell
+// values: a forgeable fingerprint would let one relation silently
+// adopt another's cached match/detect artifacts. Cost stays linear
+// and far below the phases the fingerprint lets callers skip.
+func FingerprintRelation(rel *relation.Relation) string {
+	h := sha256.New()
+	s := rel.Schema()
+	var buf [8]byte
+	writeStr := func(txt string) {
+		putUint64(&buf, uint64(len(txt)))
+		h.Write(buf[:])
+		h.Write([]byte(txt))
+	}
+	for j := 0; j < s.Len(); j++ {
+		col := s.Col(j)
+		writeStr(col.Name)
+		h.Write([]byte{byte(col.Type)})
+	}
+	h.Write([]byte{0xff})
+	for i := 0; i < rel.Len(); i++ {
+		for _, v := range rel.Row(i) {
+			if v.IsNull() {
+				h.Write([]byte{0})
+				continue
+			}
+			h.Write([]byte{1, byte(v.Kind())})
+			writeStr(v.Text())
+		}
+	}
+	return fmt.Sprintf("rel:%x/%dx%d", h.Sum(nil)[:16], rel.Len(), s.Len())
+}
+
+// FingerprintConfig renders any flat configuration struct into a
+// deterministic fingerprint component via %#v (field names and values
+// in declaration order). The rendering is used verbatim — configs are
+// short and operator-controlled, so exactness beats hashing.
+func FingerprintConfig(cfg any) string {
+	return fmt.Sprintf("cfg:%#v", cfg)
+}
+
+// MatchKey builds the cache key of a DUMAS match artifact from the
+// two relation fingerprints and the match configuration.
+func MatchKey(leftFP, rightFP string, cfg any) Key {
+	return Key{Kind: KindMatch, Fingerprint: leftFP + "|" + rightFP + "|" + FingerprintConfig(cfg)}
+}
+
+// DetectKey builds the cache key of a duplicate-detection artifact
+// from the input relation's fingerprint and the detection
+// configuration.
+func DetectKey(relFP string, cfg any) Key {
+	return Key{Kind: KindDetect, Fingerprint: relFP + "|" + FingerprintConfig(cfg)}
+}
+
+// PlanKey builds the cache key of a parsed statement. The statement
+// text itself is the fingerprint: it is short, already in hand, and —
+// unlike a hash — cannot collide, which matters because hummerd
+// accepts arbitrary statements from clients.
+func PlanKey(query string) Key {
+	return Key{Kind: KindPlan, Fingerprint: query}
+}
+
+func putUint64(buf *[8]byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+}

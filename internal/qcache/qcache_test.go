@@ -1,0 +1,239 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hummer/internal/relation"
+)
+
+func TestDoHitMiss(t *testing.T) {
+	c := New(8)
+	key := PlanKey("SELECT * FROM t")
+	calls := 0
+	compute := func() (any, error) { calls++; return 42, nil }
+
+	v, hit, err := c.Do(key, compute)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("first Do = (%v, %v, %v), want (42, miss, nil)", v, hit, err)
+	}
+	v, hit, err = c.Do(key, compute)
+	if err != nil || !hit || v.(int) != 42 {
+		t.Fatalf("second Do = (%v, %v, %v), want (42, hit, nil)", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	ks := st.Kinds[KindPlan]
+	if ks.Hits != 1 || ks.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", ks)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New(8)
+	key := Key{Kind: KindMatch, Fingerprint: "x"}
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]any, waiters+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, _ := c.Do(key, func() (any, error) {
+			close(started)
+			<-release
+			calls.Add(1)
+			return "artifact", nil
+		})
+		results[waiters] = v
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(key, func() (any, error) {
+				calls.Add(1)
+				return "recomputed", nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Give the waiters a chance to enqueue, then release the compute.
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", calls.Load())
+	}
+	for i, v := range results {
+		if v != "artifact" {
+			t.Fatalf("caller %d got %v, want shared artifact", i, v)
+		}
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(8)
+	key := Key{Kind: KindDetect, Fingerprint: "e"}
+	calls := 0
+	_, _, err := c.Do(key, func() (any, error) { calls++; return nil, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry stayed resident: len=%d", c.Len())
+	}
+	v, hit, err := c.Do(key, func() (any, error) { calls++; return 7, nil })
+	if err != nil || hit || v.(int) != 7 {
+		t.Fatalf("retry = (%v, %v, %v), want fresh 7", v, hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+}
+
+// TestDoPanicDoesNotWedgeKey: a compute that panics must release any
+// singleflight waiters with an error, drop the entry so the key
+// recomputes, and re-propagate the panic — never leave the key
+// permanently in flight.
+func TestDoPanicDoesNotWedgeKey(t *testing.T) {
+	c := New(8)
+	key := Key{Kind: KindPlan, Fingerprint: "p"}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Do(key, func() (any, error) {
+			close(started)
+			<-release
+			panic("parser bug")
+		})
+	}()
+	<-started
+
+	// Attach a waiter while the compute is in flight.
+	waiter := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(key, func() (any, error) { return "recomputed", nil })
+		waiter <- err
+	}()
+	// Let the waiter reach the in-flight entry, then fire the panic.
+	for c.Stats().Kinds[KindPlan].Shared == 0 {
+		select {
+		case err := <-waiter:
+			t.Fatalf("waiter returned before the flight resolved: %v", err)
+		default:
+		}
+	}
+	close(release)
+
+	select {
+	case err := <-waiter:
+		if err == nil {
+			t.Error("waiter sharing a panicked flight must receive an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter wedged after compute panic")
+	}
+	if r := <-panicked; r == nil {
+		t.Error("panic must propagate to the computing caller")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("panicked entry stayed resident: len=%d", c.Len())
+	}
+
+	// The key must recompute cleanly afterwards.
+	v, hit, err := c.Do(key, func() (any, error) { return 1, nil })
+	if err != nil || hit || v.(int) != 1 {
+		t.Errorf("post-panic Do = (%v, %v, %v), want fresh 1", v, hit, err)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	c := New(2)
+	mk := func(i int) Key { return Key{Kind: KindPlan, Fingerprint: fmt.Sprint(i)} }
+	for i := 0; i < 3; i++ {
+		c.Do(mk(i), func() (any, error) { return i, nil })
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// Key 0 is the least recently used and must be gone.
+	if _, ok := c.Get(mk(0)); ok {
+		t.Fatal("LRU entry 0 survived eviction")
+	}
+	if _, ok := c.Get(mk(2)); !ok {
+		t.Fatal("most recent entry 2 was evicted")
+	}
+	if ev := c.Stats().Kinds[KindPlan].Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 3; i++ {
+		key := Key{Kind: KindMatch, Fingerprint: fmt.Sprint(i)}
+		c.Do(key, func() (any, error) { return i, nil })
+	}
+	if n := c.Purge(); n != 3 {
+		t.Fatalf("purged %d, want 3", n)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after purge", c.Len())
+	}
+}
+
+func TestFingerprintRelation(t *testing.T) {
+	build := func(name string, rows ...[]string) *relation.Relation {
+		b := relation.NewBuilder(name, "A", "B")
+		for _, r := range rows {
+			b.AddText(r...)
+		}
+		return b.Build()
+	}
+	r1 := build("t", []string{"x", "1"}, []string{"y", "2"})
+	r2 := build("other", []string{"x", "1"}, []string{"y", "2"})
+	if FingerprintRelation(r1) != FingerprintRelation(r2) {
+		t.Fatal("fingerprint must not depend on the relation name")
+	}
+	r3 := build("t", []string{"x", "1"}, []string{"y", "3"})
+	if FingerprintRelation(r1) == FingerprintRelation(r3) {
+		t.Fatal("cell change must change the fingerprint")
+	}
+	r4 := build("t", []string{"y", "2"}, []string{"x", "1"})
+	if FingerprintRelation(r1) == FingerprintRelation(r4) {
+		t.Fatal("row order must change the fingerprint")
+	}
+}
+
+func TestKeysDifferByConfig(t *testing.T) {
+	type cfg struct{ Threshold float64 }
+	k1 := DetectKey("rel:abc", cfg{0.8})
+	k2 := DetectKey("rel:abc", cfg{0.9})
+	if k1 == k2 {
+		t.Fatal("config change must change the detect key")
+	}
+	m1 := MatchKey("l", "r", cfg{0.8})
+	m2 := MatchKey("r", "l", cfg{0.8})
+	if m1 == m2 {
+		t.Fatal("swapping sides must change the match key")
+	}
+}

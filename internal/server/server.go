@@ -1,0 +1,429 @@
+// Package server implements hummerd's HTTP/JSON API: a long-lived
+// query service over a shared hummer.DB, the interactive-system face
+// of the HumMer demo scaled to many concurrent clients. Clients
+// register data sources, issue FUSE BY (and plain SELECT) queries,
+// inspect lineage and resolution functions, and observe the versioned
+// artifact cache through the stats endpoint.
+//
+// Endpoints (all JSON):
+//
+//	GET    /healthz              liveness + uptime
+//	GET    /v1/stats             server counters, DB stats, cache traffic
+//	GET    /v1/sources           registered sources with generations
+//	POST   /v1/sources           register (or replace) a source
+//	GET    /v1/sources/{alias}   schema + rows of one source
+//	POST   /v1/query             execute a statement
+//	GET    /v1/functions         resolution-function names
+//	DELETE /v1/cache             purge the artifact cache
+//
+// Queries run concurrently: the underlying DB serializes nothing but
+// the metadata maps, and the artifact cache's singleflight ensures a
+// thundering herd of identical queries computes each expensive
+// artifact (DUMAS match, duplicate detection, parsed plan) once.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hummer"
+	"hummer/internal/value"
+)
+
+// maxBodyBytes caps request bodies: inline sources are meant for
+// quickstarts and tests, not bulk loading.
+const maxBodyBytes = 16 << 20
+
+// Server is the hummerd HTTP API over one shared DB.
+type Server struct {
+	db       *hummer.DB
+	mux      *http.ServeMux
+	start    time.Time
+	requests atomic.Uint64
+	// allowPathSources permits POST /v1/sources to register
+	// server-local files by path. Off by default: an unauthenticated
+	// client that can name arbitrary paths and then read the rows
+	// back through GET /v1/sources/{alias} is a file-disclosure
+	// vector. Startup flags register files regardless — the operator
+	// launching the process already has the files.
+	allowPathSources bool
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// AllowPathSources lets API clients register csv/json/xml sources by
+// server-local path. Enable only when every client is trusted with
+// read access to the server's filesystem.
+func AllowPathSources() Option {
+	return func(s *Server) { s.allowPathSources = true }
+}
+
+// New builds a Server over db.
+func New(db *hummer.DB, opts ...Option) *Server {
+	s := &Server{db: db, mux: http.NewServeMux(), start: time.Now()}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/sources", s.handleListSources)
+	s.mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
+	s.mux.HandleFunc("GET /v1/sources/{alias}", s.handleGetSource)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/functions", s.handleFunctions)
+	s.mux.HandleFunc("DELETE /v1/cache", s.handlePurgeCache)
+	return s
+}
+
+// Handler returns the routable handler (request counting included).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// --- Responses --------------------------------------------------------------
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// --- Health and stats -------------------------------------------------------
+
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+type statsResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	DB            hummer.Stats `json:"db"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		DB:            s.db.Stats(),
+	})
+}
+
+// --- Sources ----------------------------------------------------------------
+
+func (s *Server) handleListSources(w http.ResponseWriter, r *http.Request) {
+	out := s.db.Stats().Sources
+	if out == nil {
+		out = []hummer.SourceStatus{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// registerRequest registers one source. Kind selects the loader:
+// "csv", "json" and "xml" reference server-local files by path;
+// "inline" carries the data in the request (columns + rows of raw
+// text cells, typed like CSV cells).
+type registerRequest struct {
+	Alias     string     `json:"alias"`
+	Kind      string     `json:"kind"`
+	Path      string     `json:"path,omitempty"`
+	RecordTag string     `json:"record_tag,omitempty"`
+	Columns   []string   `json:"columns,omitempty"`
+	Rows      [][]string `json:"rows,omitempty"`
+	// Replace overwrites an existing alias (bumping its generation)
+	// instead of failing on conflicting data.
+	Replace bool `json:"replace,omitempty"`
+}
+
+func (s *Server) handleRegisterSource(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Alias == "" {
+		writeError(w, http.StatusBadRequest, "alias is required")
+		return
+	}
+	kind := strings.ToLower(req.Kind)
+	if !s.allowPathSources && kind != "inline" && kind != "" {
+		writeError(w, http.StatusForbidden,
+			"path-based source registration is disabled on this server (use kind \"inline\", or start hummerd with -allow-path-sources)")
+		return
+	}
+	var err error
+	switch kind {
+	case "csv":
+		if req.Replace {
+			err = s.db.ReplaceCSV(req.Alias, req.Path)
+		} else {
+			err = s.db.RegisterCSV(req.Alias, req.Path)
+		}
+	case "json":
+		if req.Replace {
+			err = s.db.ReplaceJSON(req.Alias, req.Path)
+		} else {
+			err = s.db.RegisterJSON(req.Alias, req.Path)
+		}
+	case "xml":
+		if req.Replace {
+			err = s.db.ReplaceXML(req.Alias, req.Path, req.RecordTag)
+		} else {
+			err = s.db.RegisterXML(req.Alias, req.Path, req.RecordTag)
+		}
+	case "inline":
+		var rel *hummer.Relation
+		rel, err = buildInline(req)
+		if err == nil {
+			if req.Replace {
+				err = s.db.ReplaceTable(req.Alias, rel)
+			} else {
+				err = s.db.RegisterTable(req.Alias, rel)
+			}
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown source kind %q (want csv, json, xml or inline)", req.Kind)
+		return
+	}
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, hummer.ErrAliasConflict) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, hummer.SourceStatus{
+		Alias:      req.Alias,
+		Generation: s.db.SourceGeneration(req.Alias),
+	})
+}
+
+func buildInline(req registerRequest) (*hummer.Relation, error) {
+	if len(req.Columns) == 0 {
+		return nil, fmt.Errorf("inline source %q needs columns", req.Alias)
+	}
+	b := hummer.NewTable(req.Alias, req.Columns...)
+	for i, row := range req.Rows {
+		if len(row) != len(req.Columns) {
+			return nil, fmt.Errorf("inline source %q: row %d has %d cells, want %d",
+				req.Alias, i, len(row), len(req.Columns))
+		}
+		b.AddText(row...)
+	}
+	return b.Build(), nil
+}
+
+type sourceResponse struct {
+	Alias       string   `json:"alias"`
+	Generation  uint64   `json:"generation"`
+	Fingerprint string   `json:"fingerprint"`
+	Columns     []string `json:"columns"`
+	RowCount    int      `json:"row_count"`
+	Rows        [][]any  `json:"rows"`
+}
+
+func (s *Server) handleGetSource(w http.ResponseWriter, r *http.Request) {
+	alias := r.PathValue("alias")
+	rel, err := s.db.Table(alias)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	limit := rel.Len()
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", q)
+			return
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	fp, err := s.db.SourceFingerprint(alias)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := sourceResponse{
+		Alias:       alias,
+		Generation:  s.db.SourceGeneration(alias),
+		Fingerprint: fp,
+		Columns:     rel.Schema().Names(),
+		RowCount:    rel.Len(),
+		Rows:        make([][]any, 0, limit),
+	}
+	for i := 0; i < limit; i++ {
+		resp.Rows = append(resp.Rows, rowJSON(rel.Row(i)))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- Query ------------------------------------------------------------------
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Lineage adds per-cell provenance to the response (fusion
+	// queries only).
+	Lineage bool `json:"lineage,omitempty"`
+}
+
+// fusionSummary surfaces what the pipeline did — the wizard
+// visualization's numbers, without the tables.
+type fusionSummary struct {
+	Sources         int `json:"sources"`
+	MergedRows      int `json:"merged_rows"`
+	Correspondences int `json:"correspondences"`
+	Clusters        int `json:"clusters"`
+	DuplicatePairs  int `json:"duplicate_pairs"`
+	BorderlinePairs int `json:"borderline_pairs"`
+}
+
+// cellLineage is one cell's provenance: the contributing source rows.
+type cellLineage struct {
+	Column  string   `json:"column"`
+	Origins []string `json:"origins"`
+}
+
+type queryResponse struct {
+	Columns  []string        `json:"columns"`
+	Rows     [][]any         `json:"rows"`
+	RowCount int             `json:"row_count"`
+	Fusion   *fusionSummary  `json:"fusion,omitempty"`
+	Lineage  [][]cellLineage `json:"lineage,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+	res, err := s.db.Query(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := queryResponse{
+		Columns:  res.Rel.Schema().Names(),
+		Rows:     make([][]any, 0, res.Rel.Len()),
+		RowCount: res.Rel.Len(),
+	}
+	for i := 0; i < res.Rel.Len(); i++ {
+		resp.Rows = append(resp.Rows, rowJSON(res.Rel.Row(i)))
+	}
+	if p := res.Pipeline; p != nil {
+		sum := &fusionSummary{Sources: len(p.Sources)}
+		if p.Merged != nil {
+			sum.MergedRows = p.Merged.Len()
+		}
+		for _, m := range p.Matches {
+			sum.Correspondences += len(m.Correspondences)
+		}
+		if p.Detection != nil {
+			sum.Clusters = len(p.Detection.Clusters)
+			sum.DuplicatePairs = len(p.Detection.Duplicates)
+			sum.BorderlinePairs = len(p.Detection.Borderline)
+		}
+		resp.Fusion = sum
+	}
+	if req.Lineage && res.Lineage != nil {
+		cols := res.Rel.Schema().Names()
+		resp.Lineage = make([][]cellLineage, len(res.Lineage))
+		for i, rowLin := range res.Lineage {
+			cells := make([]cellLineage, 0, len(rowLin))
+			for j, set := range rowLin {
+				cl := cellLineage{Column: cols[j], Origins: []string{}}
+				for _, o := range set.Origins() {
+					cl.Origins = append(cl.Origins, fmt.Sprintf("%s:%d", o.Source, o.Row))
+				}
+				cells = append(cells, cl)
+			}
+			resp.Lineage[i] = cells
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- Functions and cache ----------------------------------------------------
+
+func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"functions": s.db.ResolutionFunctions()})
+}
+
+func (s *Server) handlePurgeCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int{"purged": s.db.PurgeCache()})
+}
+
+// rowJSON renders one row with JSON-native cells: NULL → null,
+// numerics and booleans natively, times as RFC 3339, strings as-is.
+func rowJSON(row hummer.Row) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = cellJSON(v)
+	}
+	return out
+}
+
+func cellJSON(v hummer.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		return v.Float()
+	case value.KindBool:
+		return v.Bool()
+	case value.KindTime:
+		return v.Time().Format(time.RFC3339)
+	default:
+		return v.Str()
+	}
+}

@@ -1,0 +1,362 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"hummer"
+)
+
+// fuseQuery is the paper's running example, §2.1.
+const fuseQuery = `SELECT Name, RESOLVE(Age, max)
+	FUSE FROM EE_Student, CS_Students
+	FUSE BY (Name)
+	ORDER BY Name`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(hummer.New()).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func doJSON(t *testing.T, ts *httptest.Server, method, path string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func registerStudents(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	for _, src := range []registerRequest{
+		{Alias: "EE_Student", Kind: "inline",
+			Columns: []string{"Name", "Age", "City"},
+			Rows: [][]string{
+				{"Jonathan Smith", "21", "Berlin"},
+				{"Maria Garcia", "24", "Hamburg"},
+				{"Wei Chen", "21", "Munich"},
+				{"Aisha Khan", "23", "Cologne"},
+			}},
+		{Alias: "CS_Students", Kind: "inline",
+			Columns: []string{"FullName", "Semester", "Years", "Town"},
+			Rows: [][]string{
+				{"Jonathan Smith", "4", "22", "Berlin"},
+				{"Wei Chen", "2", "21", "Munich"},
+				{"Lena Fischer", "1", "20", "Stuttgart"},
+			}},
+	} {
+		status, body := doJSON(t, ts, http.MethodPost, "/v1/sources", src)
+		if status != http.StatusCreated {
+			t.Fatalf("register %s: status %d: %s", src.Alias, status, body)
+		}
+	}
+}
+
+// cacheKinds decodes the per-kind cache counters out of /v1/stats.
+func cacheKinds(t *testing.T, ts *httptest.Server) map[string]struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Shared uint64 `json:"shared"`
+} {
+	t.Helper()
+	status, body := doJSON(t, ts, http.MethodGet, "/v1/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", status, body)
+	}
+	var stats struct {
+		DB struct {
+			Cache struct {
+				Kinds map[string]struct {
+					Hits   uint64 `json:"hits"`
+					Misses uint64 `json:"misses"`
+					Shared uint64 `json:"shared"`
+				} `json:"kinds"`
+			} `json:"cache"`
+		} `json:"db"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats: %v in %s", err, body)
+	}
+	return stats.DB.Cache.Kinds
+}
+
+// TestWarmQuerySkipsRecomputation is the acceptance test of the
+// hummerd subsystem: a repeated FUSE BY query must be served from the
+// artifact cache — the DUMAS match and the duplicate detection are
+// not recomputed (observable through the stats endpoint) — and the
+// warm response must be byte-identical to the cold one.
+func TestWarmQuerySkipsRecomputation(t *testing.T) {
+	ts := newTestServer(t)
+	registerStudents(t, ts)
+
+	status, cold := doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: fuseQuery})
+	if status != http.StatusOK {
+		t.Fatalf("cold query: status %d: %s", status, cold)
+	}
+	kinds := cacheKinds(t, ts)
+	for _, kind := range []string{"plan", "match", "detect"} {
+		ks := kinds[kind]
+		if ks.Misses != 1 || ks.Hits != 0 {
+			t.Fatalf("cold %s counters = %+v, want exactly 1 miss, 0 hits", kind, ks)
+		}
+	}
+
+	status, warm := doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: fuseQuery})
+	if status != http.StatusOK {
+		t.Fatalf("warm query: status %d: %s", status, warm)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm result differs from cold result:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	kinds = cacheKinds(t, ts)
+	for _, kind := range []string{"plan", "match", "detect"} {
+		ks := kinds[kind]
+		if ks.Misses != 1 {
+			t.Errorf("warm %s recomputed: %+v", kind, ks)
+		}
+		if ks.Hits != 1 {
+			t.Errorf("warm %s not served from cache: %+v", kind, ks)
+		}
+	}
+
+	// An overlapping query — same sources, different SELECT list —
+	// must reuse the match and detect artifacts too (only the plan is
+	// new).
+	overlapping := `SELECT Name, RESOLVE(City, coalesce)
+		FUSE FROM EE_Student, CS_Students
+		FUSE BY (Name)
+		ORDER BY Name`
+	status, body := doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: overlapping})
+	if status != http.StatusOK {
+		t.Fatalf("overlapping query: status %d: %s", status, body)
+	}
+	kinds = cacheKinds(t, ts)
+	if ks := kinds["match"]; ks.Misses != 1 || ks.Hits != 2 {
+		t.Errorf("overlapping query must reuse the match artifact: %+v", ks)
+	}
+	if ks := kinds["detect"]; ks.Misses != 1 || ks.Hits != 2 {
+		t.Errorf("overlapping query must reuse the detect artifact: %+v", ks)
+	}
+	if ks := kinds["plan"]; ks.Misses != 2 {
+		t.Errorf("new statement must parse once: %+v", ks)
+	}
+}
+
+// TestConcurrentQueriesIdentical fires a burst of identical and mixed
+// queries at one server and requires every response to match its
+// sequential reference exactly.
+func TestConcurrentQueriesIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	registerStudents(t, ts)
+
+	queries := []string{
+		fuseQuery,
+		"SELECT Name, RESOLVE(City, coalesce) FUSE FROM EE_Student, CS_Students FUSE BY (Name) ORDER BY Name",
+		"SELECT Name FROM EE_Student ORDER BY Name",
+	}
+	want := make([][]byte, len(queries))
+	for i, q := range queries {
+		status, body := doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: q})
+		if status != http.StatusOK {
+			t.Fatalf("reference query %d: status %d: %s", i, status, body)
+		}
+		want[i] = body
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(queries))
+	for r := 0; r < rounds; r++ {
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q string) {
+				defer wg.Done()
+				status, body := doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: q})
+				if status != http.StatusOK {
+					errs <- fmt.Errorf("query %d: status %d: %s", i, status, body)
+					return
+				}
+				if !bytes.Equal(body, want[i]) {
+					errs <- fmt.Errorf("query %d: concurrent response differs:\nwant %s\ngot  %s", i, want[i], body)
+				}
+			}(i, q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestRegisterConflictAndReplace(t *testing.T) {
+	ts := newTestServer(t)
+	src := registerRequest{Alias: "t", Kind: "inline", Columns: []string{"A"}, Rows: [][]string{{"1"}}}
+	if status, body := doJSON(t, ts, http.MethodPost, "/v1/sources", src); status != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", status, body)
+	}
+	// Idempotent re-registration of equal data.
+	if status, body := doJSON(t, ts, http.MethodPost, "/v1/sources", src); status != http.StatusCreated {
+		t.Fatalf("idempotent re-register: status %d: %s", status, body)
+	}
+	// Different data without replace: conflict.
+	diff := src
+	diff.Rows = [][]string{{"2"}}
+	status, body := doJSON(t, ts, http.MethodPost, "/v1/sources", diff)
+	if status != http.StatusConflict {
+		t.Fatalf("conflicting re-register: status %d, want 409: %s", status, body)
+	}
+	// With replace: accepted, generation bumped.
+	diff.Replace = true
+	status, body = doJSON(t, ts, http.MethodPost, "/v1/sources", diff)
+	if status != http.StatusCreated {
+		t.Fatalf("replace: status %d: %s", status, body)
+	}
+	var sum hummer.SourceStatus
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Generation != 2 {
+		t.Errorf("generation after replace = %d, want 2", sum.Generation)
+	}
+}
+
+// TestPathSourcesForbiddenByDefault: registering server-local files
+// through the API is a file-disclosure vector and must be opt-in.
+func TestPathSourcesForbiddenByDefault(t *testing.T) {
+	ts := newTestServer(t)
+	status, body := doJSON(t, ts, http.MethodPost, "/v1/sources",
+		registerRequest{Alias: "leak", Kind: "csv", Path: "/etc/passwd"})
+	if status != http.StatusForbidden {
+		t.Fatalf("path registration: status %d, want 403: %s", status, body)
+	}
+
+	// With the opt-in, path kinds work (a real file this time).
+	allowed := httptest.NewServer(New(hummer.New(), AllowPathSources()).Handler())
+	t.Cleanup(allowed.Close)
+	status, body = doJSON(t, allowed, http.MethodPost, "/v1/sources",
+		registerRequest{Alias: "ee", Kind: "csv", Path: "../../examples/serve/ee_students.csv"})
+	if status != http.StatusCreated {
+		t.Fatalf("opted-in path registration: status %d: %s", status, body)
+	}
+}
+
+func TestHealthSourcesFunctionsLineage(t *testing.T) {
+	ts := newTestServer(t)
+	registerStudents(t, ts)
+
+	status, body := doJSON(t, ts, http.MethodGet, "/healthz", nil)
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Errorf("healthz: %d %s", status, body)
+	}
+
+	status, body = doJSON(t, ts, http.MethodGet, "/v1/sources", nil)
+	if status != http.StatusOK || !bytes.Contains(body, []byte("CS_Students")) {
+		t.Errorf("sources: %d %s", status, body)
+	}
+
+	status, body = doJSON(t, ts, http.MethodGet, "/v1/sources/EE_Student?limit=2", nil)
+	if status != http.StatusOK {
+		t.Fatalf("get source: %d %s", status, body)
+	}
+	var src sourceResponse
+	if err := json.Unmarshal(body, &src); err != nil {
+		t.Fatal(err)
+	}
+	if src.RowCount != 4 || len(src.Rows) != 2 || src.Fingerprint == "" {
+		t.Errorf("get source = %+v", src)
+	}
+
+	status, body = doJSON(t, ts, http.MethodGet, "/v1/sources/ghost", nil)
+	if status != http.StatusNotFound {
+		t.Errorf("unknown source: %d %s", status, body)
+	}
+
+	status, body = doJSON(t, ts, http.MethodGet, "/v1/functions", nil)
+	if status != http.StatusOK || !bytes.Contains(body, []byte("coalesce")) {
+		t.Errorf("functions: %d %s", status, body)
+	}
+
+	status, body = doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: fuseQuery, Lineage: true})
+	if status != http.StatusOK {
+		t.Fatalf("lineage query: %d %s", status, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Fusion == nil || qr.Fusion.Correspondences == 0 {
+		t.Errorf("fusion summary missing: %s", body)
+	}
+	if len(qr.Lineage) != qr.RowCount {
+		t.Errorf("lineage rows = %d, want %d", len(qr.Lineage), qr.RowCount)
+	}
+	// Jonathan Smith appears in both sources: his fused Age cell must
+	// carry an origin from each.
+	foundMixed := false
+	for _, row := range qr.Lineage {
+		for _, cell := range row {
+			if len(cell.Origins) >= 2 {
+				foundMixed = true
+			}
+		}
+	}
+	if !foundMixed {
+		t.Errorf("no fused cell with multi-source lineage: %s", body)
+	}
+}
+
+func TestQueryErrorsAndPurge(t *testing.T) {
+	ts := newTestServer(t)
+	registerStudents(t, ts)
+
+	status, body := doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: "SELEKT"})
+	if status != http.StatusBadRequest {
+		t.Errorf("bad sql: %d %s", status, body)
+	}
+	status, body = doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{})
+	if status != http.StatusBadRequest {
+		t.Errorf("empty sql: %d %s", status, body)
+	}
+
+	if status, body = doJSON(t, ts, http.MethodPost, "/v1/query", queryRequest{SQL: fuseQuery}); status != http.StatusOK {
+		t.Fatalf("query: %d %s", status, body)
+	}
+	status, body = doJSON(t, ts, http.MethodDelete, "/v1/cache", nil)
+	if status != http.StatusOK {
+		t.Fatalf("purge: %d %s", status, body)
+	}
+	var purged map[string]int
+	if err := json.Unmarshal(body, &purged); err != nil {
+		t.Fatal(err)
+	}
+	if purged["purged"] == 0 {
+		t.Errorf("expected purged artifacts, got %v", purged)
+	}
+}

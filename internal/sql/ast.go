@@ -100,6 +100,32 @@ type Stmt struct {
 // IsFusion reports whether the statement uses the Fuse By extension.
 func (s *Stmt) IsFusion() bool { return s.FuseFrom || len(s.FuseBy) > 0 }
 
+// Clone deep-copies the statement, including its expression trees.
+// Executing a statement mutates it (expr.Bind resolves column
+// positions in place), so a parse result shared between executions —
+// the plan cache — must hand each execution its own clone.
+func (s *Stmt) Clone() *Stmt {
+	c := *s
+	c.Items = append([]SelectItem(nil), s.Items...)
+	for i := range c.Items {
+		if c.Items[i].Expr != nil {
+			c.Items[i].Expr = c.Items[i].Expr.Clone()
+		}
+		if c.Items[i].Resolve != nil {
+			r := *c.Items[i].Resolve
+			c.Items[i].Resolve = &r
+		}
+	}
+	c.Tables = append([]TableRef(nil), s.Tables...)
+	c.Joins = append([]JoinClause(nil), s.Joins...)
+	c.Where = expr.CloneExpr(s.Where)
+	c.FuseBy = append([]string(nil), s.FuseBy...)
+	c.GroupBy = append([]string(nil), s.GroupBy...)
+	c.Having = expr.CloneExpr(s.Having)
+	c.OrderBy = append([]OrderKey(nil), s.OrderBy...)
+	return &c
+}
+
 // String renders the statement back to SQL (normalized).
 func (s *Stmt) String() string {
 	var b strings.Builder
