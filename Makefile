@@ -12,9 +12,12 @@ GO ?= go
 
 # Packages with sharded worker pools or concurrent query serving:
 # always exercised under -race. The root package carries the
-# concurrent-DB.Query byte-identity test.
+# concurrent-DB.Query byte-identity test; plan and core carry the
+# ctx-threaded pipeline (cancellation joins worker goroutines, the
+# fused-result tier shares results across queries), so ctx-misuse
+# regressions surface here.
 RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
-	./internal/qcache ./internal/server
+	./internal/qcache ./internal/server ./internal/plan ./internal/core
 
 # Packages held to the coverage floor (matching + detection core).
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim

@@ -1,0 +1,148 @@
+package hummer
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitForGoroutines polls until the goroutine count settles at or
+// below limit, failing the test if it does not within the deadline —
+// the leak detector for cancelled pipelines.
+func waitForGoroutines(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d running, want <= %d", runtime.NumGoroutine(), limit)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestQueryCancelMidFlight is the cancellation acceptance test: a
+// query cancelled while the pipeline is executing returns promptly
+// with the context's error, joins every worker goroutine it started,
+// and leaves the DB fully usable — the identical follow-up query on
+// the same DB returns the byte-identical result.
+func TestQueryCancelMidFlight(t *testing.T) {
+	q := `SELECT Name, RESOLVE(Age, max)
+		FUSE FROM EE_Student, CS_Students
+		FUSE BY (Name)
+		ORDER BY Name`
+
+	db := studentDB(t)
+	// The hook gives the test a deterministic "mid-flight" point: when
+	// armed it signals readiness and blocks until the query's context
+	// is cancelled; the next pipeline phase then observes the
+	// cancellation. When unarmed it is a pass-through (hooks disable
+	// the fused cache tier, so both reference queries execute the full
+	// pipeline — exactly what byte-identity should compare).
+	var block func() // nil = pass through
+	db.OnCorrespondences(func(alias string, proposed []Correspondence) []Correspondence {
+		if block != nil {
+			block()
+		}
+		return proposed
+	})
+
+	ref, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Rel.String()
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	block = func() {
+		close(started)
+		<-ctx.Done()
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	start := time.Now()
+	_, err = db.QueryContext(ctx, q)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+	}
+	// Test-enforced promptness: cooperative checks sit at phase and
+	// chunk boundaries, so even on a loaded box the abort is fast.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled query took %v to return", elapsed)
+	}
+	waitForGoroutines(t, before+2)
+
+	// The DB must be fully usable, and the repeat byte-identical.
+	block = nil
+	again, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+	if got := again.Rel.String(); got != want {
+		t.Fatalf("result after cancellation differs:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestQueryContextDeadline: an elapsed deadline aborts the pipeline
+// with context.DeadlineExceeded.
+func TestQueryContextDeadline(t *testing.T) {
+	db := studentDB(t)
+	db.OnCorrespondences(func(alias string, proposed []Correspondence) []Correspondence {
+		time.Sleep(80 * time.Millisecond) // outlive the deadline below
+		return proposed
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := db.QueryContext(ctx, `SELECT Name FUSE FROM EE_Student, CS_Students FUSE BY (Name)`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline query returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestQueryContextPreCancelled: a context cancelled before the call
+// never starts the pipeline.
+func TestQueryContextPreCancelled(t *testing.T) {
+	db := studentDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, `SELECT Name FROM EE_Student`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled query returned %v, want context.Canceled", err)
+	}
+	// Counted as a query error, DB still serves.
+	if _, err := db.Query(`SELECT Name FROM EE_Student`); err != nil {
+		t.Fatalf("query after pre-cancelled call: %v", err)
+	}
+}
+
+// TestCancelDoesNotPoisonCache: a cancelled query must not leave a
+// poisoned singleflight entry behind — the next identical query
+// recomputes and succeeds (the qcache re-election contract, observed
+// end to end).
+func TestCancelDoesNotPoisonCache(t *testing.T) {
+	q := `SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name) ORDER BY Name`
+	db := studentDB(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("query after cancelled identical query: %v", err)
+	}
+	if res.Rel.Len() == 0 {
+		t.Fatal("empty result after cancelled identical query")
+	}
+}

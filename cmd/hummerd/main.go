@@ -18,8 +18,19 @@
 //	-cache N             artifact-cache capacity in entries (0 = default)
 //	-parallel N          duplicate-detection workers (0 = GOMAXPROCS)
 //	-match-parallel N    schema-matching workers (0 = GOMAXPROCS)
+//	-query-timeout D     per-query execution bound (default 60s; 0 = none);
+//	                     an elapsed timeout cancels the pipeline
+//	                     mid-flight and returns 504
+//	-max-inflight N      concurrently executing queries admitted
+//	                     (0 = unbounded); over-limit requests get an
+//	                     immediate 429 instead of queueing
 //	-allow-path-sources  let API clients register server-local files by
 //	                     path (off by default: file-disclosure risk)
+//
+// Every query runs under its request's context: a client that hangs
+// up cancels its own pipeline mid-flight (logged as 499), so slow
+// matches and detections never hold worker pools for clients that are
+// gone. Prometheus metrics are served on /metrics.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get up to 10 seconds to finish.
@@ -59,6 +70,10 @@ func run(args []string) error {
 	cacheCap := fs.Int("cache", 0, "artifact-cache capacity in entries (0 = default)")
 	parallel := fs.Int("parallel", 0, "duplicate-detection workers (0 = GOMAXPROCS)")
 	matchParallel := fs.Int("match-parallel", 0, "schema-matching workers (0 = GOMAXPROCS)")
+	queryTimeout := fs.Duration("query-timeout", 60*time.Second,
+		"per-query execution bound; an elapsed timeout cancels the pipeline mid-flight (504). 0 disables")
+	maxInflight := fs.Int("max-inflight", 0,
+		"concurrently executing queries admitted; over-limit requests get an immediate 429 (0 = unbounded)")
 	allowPaths := fs.Bool("allow-path-sources", false,
 		"let API clients register server-local files by path (file-disclosure risk; keep off unless clients are trusted)")
 	if err := fs.Parse(args); err != nil {
@@ -100,7 +115,10 @@ func run(args []string) error {
 		}
 	}
 
-	var srvOpts []server.Option
+	srvOpts := []server.Option{
+		server.WithQueryTimeout(*queryTimeout),
+		server.WithMaxInflight(*maxInflight),
+	}
 	if *allowPaths {
 		srvOpts = append(srvOpts, server.AllowPathSources())
 	}

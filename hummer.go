@@ -26,6 +26,7 @@
 package hummer
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -308,10 +309,24 @@ func (db *DB) ResolutionFunctions() []string { return db.registry.Names() }
 
 // Query parses and executes a SELECT or FUSE BY statement. Safe for
 // concurrent use: each call runs over a snapshot of the configuration
-// and shares pipeline artifacts through the cache.
+// and shares pipeline artifacts through the cache. It is QueryContext
+// with a background context: it cannot be cancelled.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext parses and executes a SELECT or FUSE BY statement,
+// honoring ctx through every pipeline phase: schema matching,
+// duplicate detection and their sharded inner loops check it
+// cooperatively, so a cancelled or timed-out query returns promptly
+// with ctx's error, leaks no goroutines, and leaves the DB fully
+// usable — the next identical query recomputes (or hits the cache)
+// and returns the byte-identical result. A query whose singleflight
+// leader is cancelled does not poison concurrent identical queries:
+// they re-elect a leader and continue.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	db.queries.Add(1)
-	res, err := db.newExecutor().Query(sql)
+	res, err := db.newExecutor().QueryContext(ctx, sql)
 	if err != nil {
 		db.queryErrors.Add(1)
 		return nil, err
@@ -353,6 +368,13 @@ func DetectDuplicates(rel *Relation, cfg DetectionConfig) (*Detection, error) {
 	return dupdetect.Detect(rel, cfg)
 }
 
+// DetectDuplicatesContext is DetectDuplicates honoring ctx: a
+// cancelled detection returns promptly with ctx's error, all worker
+// goroutines joined and no partial result.
+func DetectDuplicatesContext(ctx context.Context, rel *Relation, cfg DetectionConfig) (*Detection, error) {
+	return dupdetect.DetectContext(ctx, rel, cfg)
+}
+
 // MatchSchemas runs DUMAS instance-based schema matching alone over
 // two relations — attribute correspondences, the duplicate tuple pairs
 // they rest on, and the averaged field-similarity matrix, without the
@@ -361,10 +383,22 @@ func MatchSchemas(left, right *Relation, cfg MatchConfig) (*MatchResult, error) 
 	return dumas.Match(left, right, cfg)
 }
 
+// MatchSchemasContext is MatchSchemas honoring ctx: a cancelled match
+// returns promptly with ctx's error, all worker goroutines joined and
+// no partial result.
+func MatchSchemasContext(ctx context.Context, left, right *Relation, cfg MatchConfig) (*MatchResult, error) {
+	return dumas.MatchContext(ctx, left, right, cfg)
+}
+
 // Fuse runs the three-phase pipeline programmatically over the
 // registered aliases — the API equivalent of the demo's wizard mode.
 func (db *DB) Fuse(aliases []string, opts PipelineOptions) (*PipelineResult, error) {
 	return db.newPipeline().Run(aliases, opts)
+}
+
+// FuseContext is Fuse honoring ctx through every pipeline phase.
+func (db *DB) FuseContext(ctx context.Context, aliases []string, opts PipelineOptions) (*PipelineResult, error) {
+	return db.newPipeline().RunContext(ctx, aliases, opts)
 }
 
 // OnCorrespondences installs the wizard step-2 hook: inspect and

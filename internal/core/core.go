@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -123,8 +124,21 @@ type Pipeline struct {
 	OnDuplicates func(det *dupdetect.Result, merged *relation.Relation) []int
 }
 
-// Run executes the full pipeline over the aliased sources.
+// Run executes the full pipeline over the aliased sources. It is
+// RunContext with a background context: it cannot be cancelled.
 func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
+	return p.RunContext(context.Background(), aliases, opts)
+}
+
+// RunContext executes the full pipeline over the aliased sources,
+// honoring ctx through every phase: source loading checks it between
+// sources, schema matching and duplicate detection propagate it into
+// their sharded inner loops (including through the artifact cache's
+// singleflight), and the phase boundaries re-check it, so a cancelled
+// query aborts promptly with ctx's error, no goroutines left behind
+// and no partial result. A run that completes is byte-identical to an
+// uncancellable one.
+func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Options) (*Result, error) {
 	if p.Repo == nil {
 		return nil, fmt.Errorf("core: pipeline has no metadata repository")
 	}
@@ -142,6 +156,9 @@ func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
 	res := &Result{}
 	// Step 1: load the relational form of every source.
 	for _, a := range aliases {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rel, err := p.Repo.Get(a)
 		if err != nil {
 			return nil, err
@@ -150,7 +167,10 @@ func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
 	}
 
 	// Steps 2+3: schema matching and transformation.
-	if err := p.matchAndTransform(res, opts); err != nil {
+	if err := p.matchAndTransform(ctx, res, opts); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -185,7 +205,7 @@ func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
 			}
 			detectCfg.Attributes = attrs
 		}
-		det, err := p.detect(res.Merged, detectCfg)
+		det, err := p.detect(ctx, res.Merged, detectCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -209,6 +229,9 @@ func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
 	}
 
 	// Step 5: conflict resolution / fusion.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	fused, err := fusion.Fuse(fuseInput, reg, fusion.Options{
 		GroupBy:         groupBy,
 		Items:           opts.Items,
@@ -230,14 +253,16 @@ func (p *Pipeline) Run(aliases []string, opts Options) (*Result, error) {
 // relations plus the match configuration, so any data or config
 // change misses while a repeated or overlapping query hits. The
 // singleflight inside the cache makes a thundering herd of identical
-// queries compute the artifact once.
-func (p *Pipeline) match(left, right *relation.Relation, cfg dumas.Config) (*dumas.Result, error) {
+// queries compute the artifact once; a cancelled caller stops waiting
+// without disturbing the computation, and a cancelled leader's
+// abandoned entry is re-elected by the remaining waiters.
+func (p *Pipeline) match(ctx context.Context, left, right *relation.Relation, cfg dumas.Config) (*dumas.Result, error) {
 	if p.Cache == nil {
-		return dumas.Match(left, right, cfg)
+		return dumas.MatchContext(ctx, left, right, cfg)
 	}
 	key := qcache.MatchKey(qcache.FingerprintRelation(left), qcache.FingerprintRelation(right), cfg)
-	v, _, err := p.Cache.Do(key, func() (any, error) {
-		return dumas.Match(left, right, cfg)
+	v, _, err := p.Cache.DoContext(ctx, key, func(ctx context.Context) (any, error) {
+		return dumas.MatchContext(ctx, left, right, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -249,13 +274,13 @@ func (p *Pipeline) match(left, right *relation.Relation, cfg dumas.Config) (*dum
 // one is installed; the key covers the merged relation's content (so
 // WHERE-filtered variants key separately) and the full detection
 // configuration including the resolved attribute selection.
-func (p *Pipeline) detect(rel *relation.Relation, cfg dupdetect.Config) (*dupdetect.Result, error) {
+func (p *Pipeline) detect(ctx context.Context, rel *relation.Relation, cfg dupdetect.Config) (*dupdetect.Result, error) {
 	if p.Cache == nil {
-		return dupdetect.Detect(rel, cfg)
+		return dupdetect.DetectContext(ctx, rel, cfg)
 	}
 	key := qcache.DetectKey(qcache.FingerprintRelation(rel), cfg)
-	v, _, err := p.Cache.Do(key, func() (any, error) {
-		return dupdetect.Detect(rel, cfg)
+	v, _, err := p.Cache.DoContext(ctx, key, func(ctx context.Context) (any, error) {
+		return dupdetect.DetectContext(ctx, rel, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -267,7 +292,7 @@ func (p *Pipeline) detect(rel *relation.Relation, cfg dupdetect.Config) (*dupdet
 // preferred schema (the first source, per the paper: "favoring the
 // first source mentioned in the query"), renames matched attributes,
 // adds the sourceID column and computes the full outer union.
-func (p *Pipeline) matchAndTransform(res *Result, opts Options) error {
+func (p *Pipeline) matchAndTransform(ctx context.Context, res *Result, opts Options) error {
 	first := res.Sources[0]
 	transformed := []*relation.Relation{first}
 	// The reference grows as sources are aligned, so later sources can
@@ -275,11 +300,14 @@ func (p *Pipeline) matchAndTransform(res *Result, opts Options) error {
 	reference := first
 
 	for _, src := range res.Sources[1:] {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var corrs []dumas.Correspondence
 		var mres *dumas.Result
 		if reference.Len() > 0 && src.Len() > 0 {
 			var err error
-			mres, err = p.match(reference, src, opts.Match)
+			mres, err = p.match(ctx, reference, src, opts.Match)
 			if err != nil {
 				return fmt.Errorf("core: matching %q against %q: %w", src.Name(), reference.Name(), err)
 			}

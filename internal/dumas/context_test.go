@@ -1,0 +1,60 @@
+package dumas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hummer/internal/relation"
+)
+
+// TestMatchContextPreCancelled: a cancelled context aborts matching
+// before any scoring and returns no partial result.
+func TestMatchContextPreCancelled(t *testing.T) {
+	left := relation.NewBuilder("l", "Name", "City")
+	right := relation.NewBuilder("r", "FullName", "Town")
+	for i := 0; i < 200; i++ {
+		left.AddText(fmt.Sprintf("person %d", i), fmt.Sprintf("city %d", i%5))
+		right.AddText(fmt.Sprintf("person %d", i), fmt.Sprintf("city %d", i%5))
+	}
+	l, r := left.Build(), right.Build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MatchContext(ctx, l, r, Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want context.Canceled", res, err)
+	}
+	if res != nil {
+		t.Fatal("cancelled match returned a partial result")
+	}
+	if _, err := MatchContext(context.Background(), l, r, Config{}); err != nil {
+		t.Fatalf("match after cancellation: %v", err)
+	}
+}
+
+// TestMatchContextCompletesIdentical: an uncancelled MatchContext is
+// byte-identical to Match at several worker counts.
+func TestMatchContextCompletesIdentical(t *testing.T) {
+	left := relation.NewBuilder("l", "Name", "Age")
+	right := relation.NewBuilder("r", "FullName", "Years")
+	for i := 0; i < 60; i++ {
+		left.AddText(fmt.Sprintf("sam sample %d", i), fmt.Sprintf("%d", 20+i%30))
+		right.AddText(fmt.Sprintf("sam sample %d", i), fmt.Sprintf("%d", 20+i%30))
+	}
+	l, r := left.Build(), right.Build()
+	for _, par := range []int{1, 3} {
+		cfg := Config{Parallelism: par}
+		want, err := Match(l, r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MatchContext(context.Background(), l, r, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+			t.Fatalf("parallelism %d: MatchContext differs from Match", par)
+		}
+	}
+}

@@ -34,6 +34,7 @@
 package dumas
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -145,8 +146,20 @@ type Result struct {
 // Match derives attribute correspondences between two unaligned
 // relations. It returns an error when either relation is empty —
 // instance-based matching has nothing to work with then — or when the
-// configuration selects conflicting candidate strategies.
+// configuration selects conflicting candidate strategies. It is
+// MatchContext with a background context: it cannot be cancelled.
 func Match(left, right *relation.Relation, cfg Config) (*Result, error) {
+	return MatchContext(context.Background(), left, right, cfg)
+}
+
+// MatchContext derives attribute correspondences between two unaligned
+// relations, honoring ctx: the per-tuple precomputation polls it
+// between row shards, the pair scoring checks it at chunk boundaries
+// and the field-matrix averaging polls it between cells, so a
+// cancelled match returns promptly with ctx's error, all worker
+// goroutines joined and no partial result. A match that completes is
+// byte-identical to an uncancellable run.
+func MatchContext(ctx context.Context, left, right *relation.Relation, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -155,11 +168,17 @@ func Match(left, right *relation.Relation, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("dumas: relation %q or %q is empty; instance-based matching needs rows",
 			left.Name(), right.Name())
 	}
-	dups, stats := findDuplicates(left, right, cfg)
+	dups, stats, err := findDuplicates(ctx, left, right, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if len(dups) == 0 {
 		return &Result{Stats: stats}, nil
 	}
-	matrix := averagedFieldMatrix(left, right, dups, parshard.Workers(cfg.Parallelism))
+	matrix, err := averagedFieldMatrix(ctx, left, right, dups, parshard.Workers(cfg.Parallelism))
+	if err != nil {
+		return nil, err
+	}
 	pairs := assign.MaxWeight(matrix)
 	var corrs []Correspondence
 	for _, p := range pairs {
@@ -204,7 +223,7 @@ func tupleText(row relation.Row) string {
 // a real-world entity should contribute one aligned observation, and
 // reusing a tuple would bias the averaged field matrix toward it.
 func FindDuplicates(left, right *relation.Relation, maxDups int, minSim float64) []TuplePair {
-	dups, _ := findDuplicates(left, right, Config{MaxDuplicates: maxDups, MinTupleSim: minSim})
+	dups, _, _ := findDuplicates(context.Background(), left, right, Config{MaxDuplicates: maxDups, MinTupleSim: minSim})
 	return dups
 }
 
@@ -228,8 +247,10 @@ type scoreShard struct {
 // cfg must have passed validation; MaxDuplicates and MinTupleSim are
 // honored exactly as given (the exported FindDuplicates deliberately
 // passes raw values to keep its historical parameter semantics, e.g.
-// minSim = 0 keeping every candidate).
-func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, Stats) {
+// minSim = 0 keeping every candidate). ctx is polled between row
+// shards and at scoring chunk boundaries; on cancellation the partial
+// state is discarded and ctx's error returned.
+func findDuplicates(ctx context.Context, left, right *relation.Relation, cfg Config) ([]TuplePair, Stats, error) {
 	nl, nr := left.Len(), right.Len()
 	workers := parshard.Workers(cfg.Parallelism)
 	preWorkers := workers
@@ -246,21 +267,30 @@ func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, St
 	rightTexts := make([]string, nr)
 	leftTokens := make([][]string, nl)
 	rightTokens := make([][]string, nr)
-	tokenizeSide := func(rel *relation.Relation, texts []string, tokens [][]string) []*strsim.Corpus {
+	tokenizeSide := func(rel *relation.Relation, texts []string, tokens [][]string) ([]*strsim.Corpus, error) {
 		shards := make([]*strsim.Corpus, preWorkers)
-		parshard.Ranges(preWorkers, rel.Len(), func(s, lo, hi int) {
+		err := parshard.RangesContext(ctx, preWorkers, rel.Len(), func(s, lo, hi int) {
 			c := strsim.NewCorpus()
 			shards[s] = c
 			for i := lo; i < hi; i++ {
+				if i%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+					return
+				}
 				texts[i] = tupleText(rel.Row(i))
 				tokens[i] = strsim.Tokenize(texts[i])
 				c.AddDoc(tokens[i])
 			}
 		})
-		return shards
+		return shards, err
 	}
-	leftShards := tokenizeSide(left, leftTexts, leftTokens)
-	rightShards := tokenizeSide(right, rightTexts, rightTokens)
+	leftShards, err := tokenizeSide(left, leftTexts, leftTokens)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	rightShards, err := tokenizeSide(right, rightTexts, rightTokens)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	corpus := strsim.NewCorpus()
 	for _, c := range append(leftShards, rightShards...) {
 		if c != nil {
@@ -273,24 +303,37 @@ func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, St
 	// allocation-free and deterministic in float accumulation order.
 	leftVecs := make([]strsim.TermVec, nl)
 	rightVecs := make([]strsim.TermVec, nr)
-	parshard.Ranges(preWorkers, nl, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			leftVecs[i] = corpus.TermVec(leftTokens[i])
-		}
-	})
-	parshard.Ranges(preWorkers, nr, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			rightVecs[i] = corpus.TermVec(rightTokens[i])
-		}
-	})
+	vecSide := func(n int, tokens [][]string, vecs []strsim.TermVec) error {
+		return parshard.RangesContext(ctx, preWorkers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+					return
+				}
+				vecs[i] = corpus.TermVec(tokens[i])
+			}
+		})
+	}
+	if err := vecSide(nl, leftTokens, leftVecs); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := vecSide(nr, rightTokens, rightVecs); err != nil {
+		return nil, Stats{}, err
+	}
 
 	// Sort keys are only materialized when a key-based candidate
 	// strategy asks for them, from the already-rendered tuple texts.
+	// The cancellation error is deliberately dropped: the scoring run
+	// below re-checks ctx on entry, so a cancel here still aborts
+	// promptly — the poll only keeps this pass from running to
+	// completion first.
 	keysOf := func(texts []string) func() []string {
 		return func() []string {
 			keys := make([]string, len(texts))
-			parshard.Ranges(preWorkers, len(texts), func(_, lo, hi int) {
+			_ = parshard.RangesContext(ctx, preWorkers, len(texts), func(_, lo, hi int) {
 				for i := lo; i < hi; i++ {
+					if i%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+						return
+					}
 					keys[i] = sortKey(texts[i])
 				}
 			})
@@ -306,7 +349,7 @@ func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, St
 		scoreWorkers = 1
 	}
 	minSim := cfg.MinTupleSim
-	out := parshard.Run(scoreWorkers, pairChunk,
+	out, err := parshard.RunContext(ctx, scoreWorkers, pairChunk,
 		parshard.Gen[[2]int](func(yield func([2]int) bool) {
 			gen(func(li, ri int) bool { return yield([2]int{li, ri}) })
 		}),
@@ -325,6 +368,9 @@ func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, St
 			into.stats.Scored += chunk.stats.Scored
 			into.pairs = append(into.pairs, chunk.pairs...)
 		})
+	if err != nil {
+		return nil, Stats{}, err
+	}
 
 	// Rank by similarity (ties broken by row ids: a total order, so
 	// the selection is deterministic) and pick the top pairs 1:1.
@@ -352,7 +398,7 @@ func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, St
 		usedR[p.RightRow] = true
 		top = append(top, p)
 	}
-	return top, out.stats
+	return top, out.stats, nil
 }
 
 // averagedFieldMatrix compares each duplicate pair field-wise with
@@ -363,7 +409,7 @@ func findDuplicates(left, right *relation.Relation, cfg Config) ([]TuplePair, St
 // strsim.Scratch for the inner Jaro-Winkler comparisons. Each cell
 // accumulates its duplicate-pair sum in pair order, so the matrix is
 // byte-identical at every worker count.
-func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair, workers int) [][]float64 {
+func averagedFieldMatrix(ctx context.Context, left, right *relation.Relation, dups []TuplePair, workers int) ([][]float64, error) {
 	nl, nr := left.Schema().Len(), right.Schema().Len()
 
 	// Column corpora: token statistics over all cell values, so that
@@ -372,12 +418,15 @@ func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair, worke
 	if left.Len()+right.Len() < precomputeMinRows {
 		preWorkers = 1
 	}
-	corpusOf := func(rel *relation.Relation) []*strsim.Corpus {
+	corpusOf := func(rel *relation.Relation) ([]*strsim.Corpus, error) {
 		shards := make([]*strsim.Corpus, preWorkers)
-		parshard.Ranges(preWorkers, rel.Len(), func(s, lo, hi int) {
+		err := parshard.RangesContext(ctx, preWorkers, rel.Len(), func(s, lo, hi int) {
 			c := strsim.NewCorpus()
 			shards[s] = c
 			for i := lo; i < hi; i++ {
+				if i%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+					return
+				}
 				for _, v := range rel.Row(i) {
 					if !v.IsNull() {
 						c.AddText(v.Text())
@@ -385,10 +434,18 @@ func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair, worke
 				}
 			}
 		})
-		return shards
+		return shards, err
+	}
+	leftShards, err := corpusOf(left)
+	if err != nil {
+		return nil, err
+	}
+	rightShards, err := corpusOf(right)
+	if err != nil {
+		return nil, err
 	}
 	colCorpus := strsim.NewCorpus()
-	for _, c := range append(corpusOf(left), corpusOf(right)...) {
+	for _, c := range append(leftShards, rightShards...) {
 		if c != nil {
 			colCorpus.Merge(c)
 		}
@@ -421,9 +478,12 @@ func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair, worke
 	// One matrix cell per work item: cells are independent, and the
 	// per-cell sum runs over dups in pair order regardless of which
 	// worker owns the cell.
-	parshard.Ranges(workers, nl*nr, func(_, lo, hi int) {
+	err = parshard.RangesContext(ctx, workers, nl*nr, func(_, lo, hi int) {
 		var sc strsim.Scratch
 		for cell := lo; cell < hi; cell++ {
+			if cell%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+				return
+			}
 			i, j := cell/nr, cell%nr
 			var sum float64
 			cnt := 0
@@ -442,7 +502,10 @@ func averagedFieldMatrix(left, right *relation.Relation, dups []TuplePair, worke
 			}
 		}
 	})
-	return avg
+	if err != nil {
+		return nil, err
+	}
+	return avg, nil
 }
 
 // fieldSim compares two non-null field values: numerics by relative

@@ -1,9 +1,11 @@
 package dupdetect
 
 import (
+	"context"
 	"sort"
 	"strings"
 
+	"hummer/internal/parshard"
 	"hummer/internal/strsim"
 )
 
@@ -58,12 +60,17 @@ func exhaustivePairs(n int) pairGen {
 
 // sortKeys builds the sorted-neighborhood sorting key of every row
 // from the measure's normalized-text cache (one ToLower per cell,
-// already paid by the measure).
-func (m *measure) sortKeys() []string {
+// already paid by the measure). ctx is polled every CancelStride rows;
+// on cancellation the pass bails with partial keys — safe, because the
+// scoring run re-checks ctx on entry and discards everything.
+func (m *measure) sortKeys(ctx context.Context) []string {
 	n := len(m.texts)
 	keys := make([]string, n)
 	var b strings.Builder
 	for i := 0; i < n; i++ {
+		if i%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+			return keys
+		}
 		b.Reset()
 		for k := range m.cols {
 			if !m.null[i][k] {
@@ -101,6 +108,18 @@ func windowPairs(keys []string, window int) pairGen {
 	}
 }
 
+// blockStats counts what the key-based strategies threw away. The
+// generator writes it while streaming; Detect folds it into the
+// Result's Stats only after the scoring run has joined the generator
+// goroutine, so no synchronization is needed.
+type blockStats struct {
+	// skipped counts oversized blocks (more than maxBlockRows rows
+	// sharing one key) that were not paired.
+	skipped int
+	// skippedRows is the total membership of those blocks.
+	skippedRows int
+}
+
 // multiPassBlocks is the shared multi-pass block-emission machinery
 // behind the key-based blocking strategies. keysOf returns the
 // blocking keys of row i under selected attribute k (nil or empty
@@ -108,10 +127,10 @@ func windowPairs(keys []string, window int) pairGen {
 // keysOf). Passes run in selected-attribute order; within a pass,
 // blocks run in sorted key order and pairs in row order. Oversized
 // blocks (more than maxBlockRows members) carry almost no
-// discriminating power and are skipped. The seen set deduplicates
-// across keys and passes, so each pair is yielded exactly once,
-// deterministically.
-func multiPassBlocks(m *measure, keysOf func(i, k int) []string) pairGen {
+// discriminating power and are skipped — counted in st rather than
+// dropped silently. The seen set deduplicates across keys and passes,
+// so each pair is yielded exactly once, deterministically.
+func multiPassBlocks(m *measure, st *blockStats, keysOf func(i, k int) []string) pairGen {
 	n := len(m.texts)
 	return func(yield func(a, b int) bool) {
 		seen := make(map[uint64]struct{})
@@ -135,7 +154,12 @@ func multiPassBlocks(m *measure, keysOf func(i, k int) []string) pairGen {
 			sort.Strings(keys)
 			for _, key := range keys {
 				rows := blocks[key]
-				if len(rows) < 2 || len(rows) > maxBlockRows {
+				if len(rows) > maxBlockRows {
+					st.skipped++
+					st.skippedRows += len(rows)
+					continue
+				}
+				if len(rows) < 2 {
 					continue
 				}
 				for x := 0; x < len(rows); x++ {
@@ -160,9 +184,9 @@ func multiPassBlocks(m *measure, keysOf func(i, k int) []string) pairGen {
 // per cell, the first prefixLen runes of the normalized value. buf is
 // reused across cells — multiPassBlocks consumes the keys before the
 // next keysOf call.
-func blockingPairs(m *measure, prefixLen int) pairGen {
+func blockingPairs(m *measure, st *blockStats, prefixLen int) pairGen {
 	var buf [1]string
-	return multiPassBlocks(m, func(i, k int) []string {
+	return multiPassBlocks(m, st, func(i, k int) []string {
 		key := runePrefix(m.runes[i][k], prefixLen)
 		if key == "" {
 			return nil
@@ -195,8 +219,8 @@ const qgramPrefixRunes = 10
 // agreeing gram. Empty (non-null) values yield no keys: their grams
 // would be pure padding, herding every empty cell of an attribute
 // into one meaningless block.
-func qgramPairs(m *measure, q int) pairGen {
-	return multiPassBlocks(m, func(i, k int) []string {
+func qgramPairs(m *measure, st *blockStats, q int) pairGen {
+	return multiPassBlocks(m, st, func(i, k int) []string {
 		if len(m.runes[i][k]) == 0 {
 			return nil
 		}
@@ -222,17 +246,20 @@ func dedupSortedStrings(s []string) []string {
 }
 
 // candidateGen selects the strategy for cfg over the measured
-// relation. Config validation has already rejected conflicting
-// settings.
-func candidateGen(m *measure, cfg Config) pairGen {
+// relation and returns the generator plus the block counters it will
+// fill while streaming (always zero for the non-blocking strategies).
+// Config validation has already rejected conflicting settings. ctx
+// bounds the eager sort-key materialization of the Window strategy.
+func candidateGen(ctx context.Context, m *measure, cfg Config) (pairGen, *blockStats) {
+	st := &blockStats{}
 	switch {
 	case cfg.Window > 0:
-		return windowPairs(m.sortKeys(), cfg.Window)
+		return windowPairs(m.sortKeys(ctx), cfg.Window), st
 	case cfg.Blocking > 0:
-		return blockingPairs(m, cfg.Blocking)
+		return blockingPairs(m, st, cfg.Blocking), st
 	case cfg.QGrams > 0:
-		return qgramPairs(m, cfg.QGrams)
+		return qgramPairs(m, st, cfg.QGrams), st
 	default:
-		return exhaustivePairs(len(m.texts))
+		return exhaustivePairs(len(m.texts)), st
 	}
 }

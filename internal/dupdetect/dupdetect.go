@@ -44,6 +44,7 @@
 package dupdetect
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -141,6 +142,16 @@ type Stats struct {
 	FilteredOut int
 	// Compared is how many pairs ran the full similarity measure.
 	Compared int
+	// SkippedBlocks counts the oversized candidate blocks the key-based
+	// strategies (Blocking, QGrams) refused to pair: more than
+	// maxBlockRows rows shared one key, so the key carried no
+	// discriminating power. Nonzero values mean recall may have been
+	// lost to a near-constant attribute — pick a longer prefix, longer
+	// grams, or a different attribute selection.
+	SkippedBlocks int
+	// SkippedBlockRows is the total membership of those skipped blocks
+	// (rows counted once per skipped block they appear in).
+	SkippedBlockRows int
 }
 
 // Result is the detector's output.
@@ -162,8 +173,19 @@ type Result struct {
 	Stats Stats
 }
 
-// Detect finds duplicate clusters in rel.
+// Detect finds duplicate clusters in rel. It is DetectContext with a
+// background context: it cannot be cancelled.
 func Detect(rel *relation.Relation, cfg Config) (*Result, error) {
+	return DetectContext(context.Background(), rel, cfg)
+}
+
+// DetectContext finds duplicate clusters in rel, honoring ctx: the
+// measure precomputation polls it between row shards and the pair
+// scoring checks it at chunk boundaries, so a cancelled detection
+// returns promptly with ctx's error, all worker goroutines joined and
+// no partial result. A detection that completes is byte-identical to
+// an uncancellable run.
+func DetectContext(ctx context.Context, rel *relation.Relation, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	strategies := 0
 	for _, knob := range []int{cfg.Window, cfg.Blocking, cfg.QGrams} {
@@ -190,8 +212,19 @@ func Detect(rel *relation.Relation, cfg Config) (*Result, error) {
 		cols[i] = j
 	}
 
-	m := newMeasure(rel, cols, cfg)
-	out := scorePairs(m, cfg, candidateGen(m, cfg))
+	m, err := newMeasure(ctx, rel, cols, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen, blocks := candidateGen(ctx, m, cfg)
+	out, err := scorePairs(ctx, m, cfg, gen)
+	if err != nil {
+		return nil, err
+	}
+	// Safe to read now: the generator goroutine that wrote the block
+	// counters is joined before scorePairs returns.
+	out.stats.SkippedBlocks = blocks.skipped
+	out.stats.SkippedBlockRows = blocks.skippedRows
 
 	res := &Result{
 		SelectedAttributes: attrs,
@@ -419,7 +452,10 @@ func (a *colAgg) merge(o *colAgg) {
 	}
 }
 
-func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
+// newMeasure precomputes the per-cell comparison state. ctx is polled
+// between rows inside each shard; on cancellation the half-built
+// measure is discarded and ctx's error returned.
+func newMeasure(ctx context.Context, rel *relation.Relation, cols []int, cfg Config) (*measure, error) {
 	n := rel.Len()
 	m := &measure{rel: rel, cols: cols, cfg: cfg}
 	m.texts = make([][]string, n)
@@ -444,11 +480,14 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 	// fold commutatively afterwards, so the measure is byte-identical
 	// at every worker count.
 	aggs := make([]*colAgg, workers)
-	parshard.Ranges(workers, n, func(shard, lo, hi int) {
+	err := parshard.RangesContext(ctx, workers, n, func(shard, lo, hi int) {
 		agg := newColAgg(len(cols))
 		aggs[shard] = agg
 		var sortBuf []rune
 		for i := lo; i < hi; i++ {
+			if i%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+				return
+			}
 			m.texts[i] = make([]string, len(cols))
 			m.runes[i] = make([][]rune, len(cols))
 			m.counts[i] = make([]runeCounts, len(cols))
@@ -483,6 +522,9 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := newColAgg(len(cols))
 	for _, agg := range aggs {
 		if agg != nil {
@@ -504,8 +546,11 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 			distinctness[k] = float64(len(total.distinct[k])) / float64(total.nonNull[k])
 		}
 	}
-	parshard.Ranges(workers, n, func(_, lo, hi int) {
+	err = parshard.RangesContext(ctx, workers, n, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
+			if i%parshard.CancelStride == 0 && parshard.Canceled(ctx) {
+				return
+			}
 			for k := range cols {
 				if !m.null[i][k] {
 					m.weights[i][k] = identifyingPower(total.corpora[k], m.texts[i][k]) *
@@ -514,6 +559,9 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	if n > 0 {
 		var sum float64
 		for i := 0; i < n; i++ {
@@ -523,7 +571,7 @@ func newMeasure(rel *relation.Relation, cols []int, cfg Config) *measure {
 		}
 		m.avgRowWeight = sum / float64(n)
 	}
-	return m
+	return m, nil
 }
 
 // countRunes builds the sorted rune histogram of rs, reusing sortBuf

@@ -1,6 +1,7 @@
 package dupdetect
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -134,7 +135,10 @@ func TestPropertySimilaritySymmetric(t *testing.T) {
 		for i := range cols {
 			cols[i] = i
 		}
-		m := newMeasure(rel, cols, Config{Threshold: 0.8})
+		m, err := newMeasure(context.Background(), rel, cols, Config{Threshold: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
 		var sc strsim.Scratch
 		for a := 0; a < rel.Len(); a++ {
 			for b := a + 1; b < rel.Len(); b++ {
@@ -156,7 +160,10 @@ func TestPropertyUpperBoundDominates(t *testing.T) {
 		for i := range cols {
 			cols[i] = i
 		}
-		m := newMeasure(rel, cols, Config{Threshold: 0.8})
+		m, err := newMeasure(context.Background(), rel, cols, Config{Threshold: 0.8})
+		if err != nil {
+			t.Fatal(err)
+		}
 		var sc strsim.Scratch
 		for a := 0; a < rel.Len(); a++ {
 			for b := a + 1; b < rel.Len(); b++ {

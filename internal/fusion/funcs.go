@@ -87,6 +87,12 @@ var Coalesce = Spec{Name: "coalesce"}
 type Registry struct {
 	mu    sync.RWMutex
 	funcs map[string]Func
+	// version counts Register calls. The fused-result cache folds it
+	// into its keys: re-registering a function may change what a query
+	// produces, and a bumped version makes the stale fused entries stop
+	// being addressed — the same structural versioning the source
+	// fingerprints provide for data changes.
+	version uint64
 }
 
 // NewRegistry returns a registry pre-loaded with all resolution
@@ -103,7 +109,17 @@ func NewRegistry() *Registry {
 func (r *Registry) Register(name string, f Func) {
 	r.mu.Lock()
 	r.funcs[strings.ToLower(name)] = f
+	r.version++
 	r.mu.Unlock()
+}
+
+// Version returns the registration counter: 0 for a fresh registry
+// (builtins only), bumped by every Register call. Cache keys that
+// depend on resolution-function behaviour must include it.
+func (r *Registry) Version() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.version
 }
 
 // Lookup resolves a function name.

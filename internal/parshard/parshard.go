@@ -29,9 +29,21 @@
 // Anything order-sensitive (float accumulation, slice append) must
 // happen either per item/cell or in the deterministic fold — never
 // across items inside a shared accumulator.
+//
+// # Cancellation
+//
+// RunContext and RangesContext accept a context and check it
+// cooperatively at chunk (respectively shard) boundaries: a run either
+// completes — producing the byte-identical canonical result — or
+// aborts with the context's error and no result at all. There is no
+// partial output, so cancellation can never bend determinism. On
+// abort every worker goroutine, the generator goroutine and the
+// collector are joined before the call returns: a cancelled run leaks
+// nothing.
 package parshard
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -56,7 +68,15 @@ func Workers(parallelism int) int {
 type Gen[T any] func(yield func(T) bool)
 
 // Run consumes gen with the given number of worker goroutines and
-// returns the folded result.
+// returns the folded result. It is RunContext with a background
+// context: it cannot be cancelled.
+func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(item T, out *R), merge func(into *R, chunk R)) R {
+	out, _ := RunContext(context.Background(), workers, chunkSize, gen, newWorker, merge)
+	return out
+}
+
+// RunContext consumes gen with the given number of worker goroutines
+// and returns the folded result.
 //
 // newWorker is called once per worker and returns the worker's
 // processing function, giving each worker a place to hold private
@@ -70,19 +90,43 @@ type Gen[T any] func(yield func(T) bool)
 // accumulated result directly, so merge must be a pure fold with no
 // side effects beyond *into.
 //
+// ctx is checked at chunk boundaries. When it is cancelled the run
+// stops streaming, drains and joins every goroutine it started, and
+// returns the zero R with ctx's error; the caller must discard any
+// state the generator or workers touched. A nil error means the run
+// completed and the result is the canonical (sequential-identical)
+// fold.
+//
 // chunkSize <= 0 selects DefaultChunk.
-func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(item T, out *R), merge func(into *R, chunk R)) R {
+func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T], newWorker func() func(item T, out *R), merge func(into *R, chunk R)) (R, error) {
+	var zero R
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunk
+	}
+	if err := ctx.Err(); err != nil {
+		return zero, err
 	}
 	if workers <= 1 {
 		proc := newWorker()
 		var out R
+		n := 0
+		var ctxErr error
 		gen(func(item T) bool {
+			// Cooperative check once per chunk-sized run of items,
+			// mirroring the parallel path's abort granularity.
+			if n%chunkSize == 0 {
+				if ctxErr = ctx.Err(); ctxErr != nil {
+					return false
+				}
+			}
+			n++
 			proc(item, &out)
 			return true
 		})
-		return out
+		if ctxErr != nil {
+			return zero, ctxErr
+		}
+		return out, nil
 	}
 
 	type chunk struct {
@@ -100,27 +144,42 @@ func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(ite
 		return &buf
 	}}
 
-	// Generator: stream the canonical order into chunks.
+	// Generator: stream the canonical order into chunks. The send
+	// selects on ctx so a cancelled run never wedges the generator;
+	// genDone lets the caller join it before returning (the generator
+	// may still be inside gen — sorting, building block maps — when the
+	// workers have already drained everything).
+	genDone := make(chan struct{})
 	go func() {
+		defer close(genDone)
 		defer close(jobs)
 		idx := 0
 		buf := bufPool.Get().(*[]T)
 		gen(func(item T) bool {
 			*buf = append(*buf, item)
 			if len(*buf) == chunkSize {
-				jobs <- chunk{idx: idx, items: *buf}
+				select {
+				case jobs <- chunk{idx: idx, items: *buf}:
+				case <-ctx.Done():
+					return false
+				}
 				idx++
 				buf = bufPool.Get().(*[]T)
 				*buf = (*buf)[:0]
 			}
 			return true
 		})
-		if len(*buf) > 0 {
-			jobs <- chunk{idx: idx, items: *buf}
+		if len(*buf) > 0 && ctx.Err() == nil {
+			select {
+			case jobs <- chunk{idx: idx, items: *buf}:
+			case <-ctx.Done():
+			}
 		}
 	}()
 
-	// Workers: process chunks with per-worker state.
+	// Workers: process chunks with per-worker state; once the context
+	// is cancelled they stop scoring but keep draining jobs so the
+	// generator's sends always complete.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -128,6 +187,11 @@ func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(ite
 			defer wg.Done()
 			proc := newWorker()
 			for ch := range jobs {
+				if ctx.Err() != nil {
+					buf := ch.items[:0]
+					bufPool.Put(&buf)
+					continue
+				}
 				var out R
 				for _, item := range ch.items {
 					proc(item, &out)
@@ -144,17 +208,22 @@ func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(ite
 	}()
 
 	// Fold deterministically: chunk order restores the canonical
-	// stream order.
+	// stream order. The collector always drains to close so the worker
+	// sends (buffered at cap workers) can never block forever.
 	var chunks []indexed
 	for r := range results {
 		chunks = append(chunks, r)
+	}
+	<-genDone
+	if err := ctx.Err(); err != nil {
+		return zero, err
 	}
 	sort.Slice(chunks, func(i, j int) bool { return chunks[i].idx < chunks[j].idx })
 	var merged R
 	for _, c := range chunks {
 		merge(&merged, c.res)
 	}
-	return merged
+	return merged, nil
 }
 
 // Ranges splits [0, n) into at most `workers` contiguous, near-equal
@@ -168,15 +237,27 @@ func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(ite
 // index; the caller folds any shard-local reductions afterwards, in
 // shard order.
 func Ranges(workers, n int, fn func(shard, lo, hi int)) {
+	_ = RangesContext(context.Background(), workers, n, fn)
+}
+
+// RangesContext is Ranges with cooperative cancellation: the context
+// is checked before dispatch, and fn should additionally poll
+// Canceled(ctx) inside long per-row loops and bail early. Every shard
+// goroutine is joined before the call returns; when it returns a
+// non-nil error the caller must discard whatever the shards wrote.
+func RangesContext(ctx context.Context, workers, n int, fn func(shard, lo, hi int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		fn(0, 0, n)
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for s := 0; s < workers; s++ {
@@ -192,4 +273,23 @@ func Ranges(workers, n int, fn func(shard, lo, hi int)) {
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	return ctx.Err()
+}
+
+// CancelStride is the shared poll interval for long shard loops: a
+// shard should check Canceled every CancelStride rows (or cells).
+// Small enough for prompt aborts, large enough that the poll is
+// invisible next to per-row work — one constant so every phase
+// retunes together.
+const CancelStride = 128
+
+// Canceled reports whether ctx is done — the poll long shard loops use
+// to bail out early between rows (every CancelStride iterations).
+func Canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }

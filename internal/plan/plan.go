@@ -2,9 +2,20 @@
 // statements run through the core pipeline (schema matching →
 // duplicate detection → conflict resolution); plain SELECT statements
 // run directly on the relational engine.
+//
+// With a Cache installed the executor maintains two tiers: parsed
+// plans keyed by statement text, and — the warmest tier — complete
+// fused query results keyed by (plan fingerprint, source fingerprints,
+// configuration fingerprint). A fused-tier hit skips schema matching,
+// duplicate detection, merging and fusion entirely; only the parse
+// (itself cached) runs. QueryContext/ExecuteContext propagate a
+// context through every phase so a hung client or an elapsed timeout
+// cancels the pipeline mid-flight.
 package plan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -64,14 +75,24 @@ type Executor struct {
 // megabytes of query text per cache slot.
 const maxCachedPlanBytes = 8 << 10
 
-// Query parses and executes one statement. With a Cache installed the
-// parse result is cached by query text (statements small enough to be
-// worth retaining); each execution receives its own clone, since
-// binding mutates the expression trees.
+// Query parses and executes one statement. It is QueryContext with a
+// background context: it cannot be cancelled.
 func (e *Executor) Query(q string) (*QueryResult, error) {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext parses and executes one statement, honoring ctx through
+// every pipeline phase. With a Cache installed the parse result is
+// cached by query text (statements small enough to be worth
+// retaining); each execution receives its own clone, since binding
+// mutates the expression trees.
+func (e *Executor) QueryContext(ctx context.Context, q string) (*QueryResult, error) {
 	var stmt *sql.Stmt
 	if e.Cache != nil && len(q) <= maxCachedPlanBytes {
-		v, _, err := e.Cache.Do(qcache.PlanKey(q), func() (any, error) { return sql.Parse(q) })
+		// Parsing is fast and never blocks, so the compute ignores ctx;
+		// DoContext still lets a cancelled caller stop waiting on a
+		// contended key.
+		v, _, err := e.Cache.DoContext(ctx, qcache.PlanKey(q), func(context.Context) (any, error) { return sql.Parse(q) })
 		if err != nil {
 			return nil, err
 		}
@@ -83,23 +104,44 @@ func (e *Executor) Query(q string) (*QueryResult, error) {
 			return nil, err
 		}
 	}
-	return e.Execute(stmt)
+	return e.executeStmt(ctx, stmt, q)
 }
 
-// Execute runs a parsed statement.
+// Execute runs a parsed statement. It is ExecuteContext with a
+// background context: it cannot be cancelled.
 func (e *Executor) Execute(stmt *sql.Stmt) (*QueryResult, error) {
+	return e.ExecuteContext(context.Background(), stmt)
+}
+
+// ExecuteContext runs a parsed statement, honoring ctx: fusion
+// statements propagate it through matching, detection and the cache
+// singleflight; plain statements check it before the (fast,
+// in-memory) engine run. Statements executed directly (without their
+// source text) bypass the fused-result cache tier, whose keys are
+// raw statement text.
+func (e *Executor) ExecuteContext(ctx context.Context, stmt *sql.Stmt) (*QueryResult, error) {
+	return e.executeStmt(ctx, stmt, "")
+}
+
+// executeStmt dispatches a parsed statement; raw is the statement's
+// source text when known ("" otherwise), the fused tier's key
+// component.
+func (e *Executor) executeStmt(ctx context.Context, stmt *sql.Stmt, raw string) (*QueryResult, error) {
 	if e.Repo == nil {
 		return nil, fmt.Errorf("plan: executor has no repository")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if stmt.IsFusion() {
-		return e.executeFusion(stmt)
+		return e.executeFusion(ctx, stmt, raw)
 	}
 	return e.executePlain(stmt)
 }
 
 // --- Fusion statements ------------------------------------------------------
 
-func (e *Executor) executeFusion(stmt *sql.Stmt) (*QueryResult, error) {
+func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string) (*QueryResult, error) {
 	if len(stmt.Joins) > 0 {
 		return nil, fmt.Errorf("plan: JOIN is not supported in FUSE statements; use FUSE FROM")
 	}
@@ -147,7 +189,69 @@ func (e *Executor) executeFusion(stmt *sql.Stmt) (*QueryResult, error) {
 	// With only the * wildcard, Items stays empty: all data columns
 	// with the default resolution.
 
-	res, err := p.Run(aliases, opts)
+	// The fused-result cache tier: the complete post-processed result,
+	// keyed by the raw statement text, the source fingerprints in
+	// query order and the configuration fingerprint. A warm query
+	// skips matching, detection, merging and fusion entirely. The raw
+	// text is the key — not Stmt.String(), whose rendering is not
+	// injective (a quoted alias containing ", " renders exactly like
+	// two bare items), and two different statements must never share a
+	// fused entry. Statements without source text (direct Execute) and
+	// oversized texts bypass the tier, as do wizard hooks, which can
+	// rewrite any intermediate non-deterministically (the per-artifact
+	// tiers below still apply). Fingerprinting can fail on an unknown
+	// alias — fall through then, so the pipeline reports the real
+	// error.
+	if e.Cache != nil && raw != "" && len(raw) <= maxCachedPlanBytes && !pipelineHooked(p) {
+		if key, gens, err := e.fusedKey(raw, aliases, p); err == nil {
+			v, _, err := e.Cache.DoContext(ctx, key, func(ctx context.Context) (any, error) {
+				res, err := e.runFusion(ctx, p, stmt, aliases, opts)
+				if err != nil {
+					return nil, err
+				}
+				// The key was fingerprinted before the pipeline loaded
+				// the sources. If a concurrent Replace landed in
+				// between, the pipeline computed over newer data than
+				// the key names — caching that would serve new-data
+				// rows under old fingerprints after a rollback. Return
+				// the result *with* the sentinel: the entry is dropped
+				// (errors are never cached) while the computation
+				// still reaches the leader and every waiter.
+				for i, a := range aliases {
+					if e.Repo.Generation(a) != gens[i] {
+						return res, errFusedStale
+					}
+				}
+				return res, nil
+			})
+			if err == nil || errors.Is(err, errFusedStale) {
+				// Cached results are shared across queries: callers
+				// must treat Rel, Lineage and Pipeline as read-only.
+				// On the stale-race sentinel the result is correct for
+				// the data the pipeline saw — serve it; it just never
+				// entered the cache.
+				if qr, ok := v.(*QueryResult); ok && qr != nil {
+					return qr, nil
+				}
+			}
+			if err != nil && !errors.Is(err, errFusedStale) {
+				return nil, err
+			}
+			// Defensive: a stale sentinel without a result (not
+			// produced today) falls through to an uncached run.
+		}
+	}
+	return e.runFusion(ctx, p, stmt, aliases, opts)
+}
+
+// errFusedStale marks a fused computation whose sources were replaced
+// mid-run: correct to serve, wrong to cache under the pre-run key.
+var errFusedStale = errors.New("plan: sources replaced during fusion; result not cacheable")
+
+// runFusion executes the pipeline and post-processing for one fusion
+// statement — the compute function of the fused cache tier.
+func (e *Executor) runFusion(ctx context.Context, p *core.Pipeline, stmt *sql.Stmt, aliases []string, opts core.Options) (*QueryResult, error) {
+	res, err := p.RunContext(ctx, aliases, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +263,43 @@ func (e *Executor) executeFusion(stmt *sql.Stmt) (*QueryResult, error) {
 		return nil, err
 	}
 	return &QueryResult{Rel: out, Lineage: lin, Pipeline: res}, nil
+}
+
+// fusedKey builds the fused-tier cache key for one fusion statement:
+// the raw statement text (collision-free, like the plan tier), the
+// content fingerprints of the participating sources in query order,
+// and the configuration fingerprint — every match/detect knob plus
+// the resolution-registry version, so re-registering a function stops
+// addressing stale results just like replacing a source does. It also
+// returns each source's generation, captured *before* its
+// fingerprint: the caller re-checks generations after the pipeline
+// ran, and capturing first makes the check conservative (a replace
+// racing the fingerprint read is always detected).
+func (e *Executor) fusedKey(raw string, aliases []string, p *core.Pipeline) (qcache.Key, []uint64, error) {
+	srcFPs := make([]string, len(aliases))
+	gens := make([]uint64, len(aliases))
+	for i, a := range aliases {
+		gens[i] = e.Repo.Generation(a)
+		fp, err := e.Repo.Fingerprint(a)
+		if err != nil {
+			return qcache.Key{}, nil, err
+		}
+		srcFPs[i] = fp
+	}
+	var regVersion uint64
+	if p.Registry != nil {
+		regVersion = p.Registry.Version()
+	}
+	cfgFP := fmt.Sprintf("%s|%s|reg:%d",
+		qcache.FingerprintConfig(e.Match), qcache.FingerprintConfig(e.Detect), regVersion)
+	return qcache.FusedKey(raw, srcFPs, cfgFP), gens, nil
+}
+
+// pipelineHooked reports whether any wizard hook is installed — hooks
+// may adjust intermediates per call, so their results must not be
+// shared through the fused cache tier.
+func pipelineHooked(p *core.Pipeline) bool {
+	return p.OnCorrespondences != nil || p.OnAttributes != nil || p.OnDuplicates != nil
 }
 
 // postProcess applies HAVING, ORDER BY and LIMIT to a fused result,

@@ -1,0 +1,202 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDoContextWaiterCancel: a waiter whose context dies stops waiting
+// immediately and returns its own error; the in-flight leader is
+// undisturbed and completes normally.
+func TestDoContextWaiterCancel(t *testing.T) {
+	c := New(8)
+	key := DetectKey("rel:x", struct{}{})
+	computing := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+			close(computing)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("leader got (%v, %v), want (42, nil)", v, err)
+		}
+	}()
+
+	<-computing
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoContext(ctx, key, func(context.Context) (any, error) {
+			t.Error("waiter must not compute")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	cancel()
+	select {
+	case err := <-waiterErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return while the leader was still computing")
+	}
+
+	close(release)
+	wg.Wait()
+
+	// The completed entry must be observable afterwards.
+	if v, ok := c.Get(key); !ok || v != 42 {
+		t.Fatalf("entry after completion = (%v, %v), want (42, true)", v, ok)
+	}
+}
+
+// TestDoContextLeaderCancelReelects is the "cancelled leader must not
+// poison waiters" contract: when the leader's context is cancelled
+// mid-compute, a waiter with a live context re-elects itself, reruns
+// the computation and gets the real value — not the leader's
+// cancellation error.
+func TestDoContextLeaderCancelReelects(t *testing.T) {
+	c := New(8)
+	key := MatchKey("rel:l", "rel:r", struct{}{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderComputing := make(chan struct{})
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoContext(leaderCtx, key, func(ctx context.Context) (any, error) {
+			close(leaderComputing)
+			<-ctx.Done() // a cooperative compute observing its cancellation
+			return nil, ctx.Err()
+		})
+		leaderErr <- err
+	}()
+
+	<-leaderComputing
+	// The waiter piggybacks on the in-flight entry, then must re-elect
+	// once the leader abandons it.
+	waiterDone := make(chan struct{})
+	var waiterVal any
+	var waiterE error
+	go func() {
+		defer close(waiterDone)
+		waiterVal, _, waiterE = c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+			return "recomputed", nil
+		})
+	}()
+	// Give the waiter a moment to attach to the in-flight entry, then
+	// cancel the leader. (If the waiter instead arrives after the
+	// abandonment it takes leadership directly — the assertion below
+	// holds either way.)
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-waiterDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter did not re-elect after the leader was cancelled")
+	}
+	if waiterE != nil || waiterVal != "recomputed" {
+		t.Fatalf("waiter got (%v, %v), want (recomputed, nil) — poisoned by the cancelled leader", waiterVal, waiterE)
+	}
+	if v, ok := c.Get(key); !ok || v != "recomputed" {
+		t.Fatalf("entry after re-election = (%v, %v), want (recomputed, true)", v, ok)
+	}
+	// Exactly one stats event per logical lookup, even across the
+	// re-election: two calls → counters sum to two (the waiter's
+	// transient Shared converts into its final Miss).
+	ks := c.Stats().Kinds[key.Kind]
+	if total := ks.Hits + ks.Shared + ks.Misses; total != 2 {
+		t.Errorf("stats sum = %d (%+v), want 2 — re-election double-counted a lookup", total, ks)
+	}
+}
+
+// TestFusedKindTighterCap: the fused kind evicts at a quarter of the
+// per-kind budget — its entries pin whole result tables — while other
+// kinds keep the full cap.
+func TestFusedKindTighterCap(t *testing.T) {
+	c := New(8) // fused budget: 8/4 = 2
+	put := func(k Key, v string) {
+		if _, _, err := c.DoContext(context.Background(), k, func(context.Context) (any, error) { return v, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		put(FusedKey(fmt.Sprintf("q%d", i), []string{"s"}, "cfg"), "r")
+		put(PlanKey(fmt.Sprintf("q%d", i)), "p")
+	}
+	st := c.Stats()
+	if ev := st.Kinds[KindFused].Evictions; ev != 2 {
+		t.Errorf("fused evictions = %d, want 2 (cap 8/4)", ev)
+	}
+	if ev := st.Kinds[KindPlan].Evictions; ev != 0 {
+		t.Errorf("plan evictions = %d, want 0 (full cap)", ev)
+	}
+}
+
+// TestDoContextGenuineErrorPropagates: a real compute failure (the
+// leader's context still live) reaches the waiters and is not cached.
+func TestDoContextGenuineErrorPropagates(t *testing.T) {
+	c := New(8)
+	key := PlanKey("SELECT broken")
+	boom := fmt.Errorf("boom")
+	computing := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+			close(computing)
+			<-release
+			return nil, boom
+		})
+		leaderDone <- err
+	}()
+	<-computing
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+			t.Error("waiter must not recompute while the genuine error is being delivered")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	// Publish the failure only once the waiter has verifiably attached
+	// to the in-flight entry (the Waiters gauge rises at attach), so
+	// this cannot flake into the waiter-takes-leadership path on a
+	// slow scheduler.
+	attachDeadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiters == 0 {
+		if time.Now().After(attachDeadline) {
+			t.Fatal("waiter never attached to the in-flight entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, boom) {
+		t.Fatalf("leader returned %v, want boom", err)
+	}
+	if err := <-waiterDone; !errors.Is(err, boom) {
+		t.Fatalf("waiter returned %v, want the leader's genuine error", err)
+	}
+	// Not cached: the next call retries (and can succeed).
+	v, hit, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+		return "ok", nil
+	})
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("retry after genuine error = (%v, %v, %v), want (ok, false, nil)", v, hit, err)
+	}
+}

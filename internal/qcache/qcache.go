@@ -23,13 +23,26 @@
 // it (a thundering herd of identical queries computes each artifact
 // once). Failed computations are not cached — the next caller retries.
 //
+// # Cancellation
+//
+// DoContext makes the singleflight cancellation-safe. A waiter whose
+// context is cancelled stops waiting and returns its context error;
+// the in-flight computation is unaffected. A *leader* whose context is
+// cancelled mid-compute must not poison the waiters piggybacking on
+// it: the abandoned entry is dropped and the waiters re-elect — the
+// first waiter with a live context becomes the new leader and
+// recomputes. Only genuine compute errors propagate to waiters.
+//
 // Cached values are shared across goroutines and must be treated as
 // immutable by all consumers.
 package qcache
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"hummer/internal/relation"
@@ -49,6 +62,13 @@ const (
 	// KindDetect is a duplicate-detection result, keyed by the merged
 	// relation's fingerprint and the detection configuration.
 	KindDetect Kind = "detect"
+	// KindFused is a complete fused query result — the final table plus
+	// lineage — keyed by the raw statement text, the source
+	// fingerprints in query order, and the configuration fingerprint
+	// (match + detect knobs and the resolution-registry version). A
+	// hit on this tier skips matching, detection, merging and fusion
+	// entirely.
+	KindFused Kind = "fused"
 )
 
 // Key addresses one artifact.
@@ -63,6 +83,15 @@ type Key struct {
 // resident. Each artifact kind owns its own budget, so cheap plans
 // never evict expensive match/detect results.
 const DefaultCapacity = 256
+
+// fusedCapacityDivisor shrinks the fused kind's budget relative to
+// the per-kind cap: a fused entry pins a complete query result —
+// fused table, lineage and the pipeline intermediates the API exposes
+// (merged relation, detection) — so it is the heaviest artifact by
+// far, and a quarter of the budget keeps the warm working set while
+// bounding the pinned tables. (Match/detect artifacts referenced by a
+// fused entry are shared pointers with their own tiers, not copies.)
+const fusedCapacityDivisor = 4
 
 // KindStats counts one kind's cache traffic.
 type KindStats struct {
@@ -83,7 +112,16 @@ type Stats struct {
 	Entries int `json:"entries"`
 	// Capacity is the per-kind entry cap.
 	Capacity int `json:"capacity"`
-	// Kinds maps each artifact kind to its traffic counters.
+	// FusedCapacity is the fused kind's (smaller) entry cap — its
+	// entries pin whole result tables, so it runs on a fraction of
+	// Capacity (see fusedCapacityDivisor).
+	FusedCapacity int `json:"fused_capacity"`
+	// Waiters is the number of callers currently blocked on in-flight
+	// computations (a gauge, unlike the per-kind counters).
+	Waiters int `json:"waiters"`
+	// Kinds maps each artifact kind to its traffic counters. Every
+	// counter is monotonic: a DoContext call contributes exactly one
+	// increment — Hits, Misses or Shared — when it resolves.
 	Kinds map[Kind]KindStats `json:"kinds"`
 }
 
@@ -108,6 +146,11 @@ type entry struct {
 	ready chan struct{}
 	val   any
 	err   error
+	// abandoned marks an entry whose leader's context was cancelled
+	// mid-compute: the failure says nothing about the artifact, so
+	// waiters with live contexts re-elect instead of inheriting the
+	// leader's cancellation error.
+	abandoned bool
 	// seq is the last-touch tick for LRU eviction.
 	seq uint64
 }
@@ -118,6 +161,7 @@ type Cache struct {
 	mu      sync.Mutex
 	cap     int
 	tick    uint64
+	waiters int
 	entries map[Key]*entry
 	stats   map[Kind]*KindStats
 }
@@ -136,35 +180,98 @@ func New(capacity int) *Cache {
 }
 
 // Do returns the artifact for key, computing it with compute on a
-// miss. Concurrent calls for the same key run compute exactly once;
-// the other callers block and share the outcome. hit reports whether
-// this call avoided computing (a completed entry or a shared
-// in-flight one). Errors are returned to every waiting caller but are
-// not cached: the entry is removed so a later call retries.
+// miss. It is DoContext with a background context: it never gives up
+// waiting and its computations cannot be cancelled.
 func (c *Cache) Do(key Key, compute func() (any, error)) (val any, hit bool, err error) {
-	c.mu.Lock()
-	ks := c.kindStatsLocked(key.Kind)
-	if e, ok := c.entries[key]; ok {
-		c.tick++
-		e.seq = c.tick
-		select {
-		case <-e.ready:
-			ks.Hits++
-			c.mu.Unlock()
-			return e.val, true, e.err
-		default:
-			ks.Shared++
-			c.mu.Unlock()
-			<-e.ready
-			return e.val, true, e.err
-		}
-	}
-	ks.Misses++
-	c.tick++
-	e := &entry{key: key, ready: make(chan struct{}), seq: c.tick}
-	c.entries[key] = e
-	c.mu.Unlock()
+	return c.DoContext(context.Background(), key, func(context.Context) (any, error) { return compute() })
+}
 
+// DoContext returns the artifact for key, computing it with compute on
+// a miss. Concurrent calls for the same key run compute exactly once;
+// the other callers block and share the outcome. hit reports whether
+// this call avoided computing (a completed entry or a shared in-flight
+// one). Errors are returned to every waiting caller but are not
+// cached: the entry is removed so a later call retries.
+//
+// Cancellation: a waiter whose ctx is cancelled returns ctx's error
+// immediately, leaving the in-flight computation undisturbed. A leader
+// whose own ctx is cancelled mid-compute abandons the entry; waiters
+// with live contexts then re-elect a new leader and recompute rather
+// than inheriting a cancellation that was never theirs.
+func (c *Cache) DoContext(ctx context.Context, key Key, compute func(ctx context.Context) (any, error)) (val any, hit bool, err error) {
+	// Stats discipline: every counter is monotonic (the server exports
+	// them as Prometheus counters), and a call contributes exactly one
+	// increment — at resolution, not at attach. A waiter that re-elects
+	// after an abandoned leader therefore counts only as the miss (or
+	// hit) it finally resolves to; a waiter that gives up on its own
+	// ctx still counts as Shared (it piggybacked, computed nothing).
+	// The transient "blocked on an in-flight entry" state is the
+	// Waiters gauge instead.
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		c.mu.Lock()
+		ks := c.kindStatsLocked(key.Kind)
+		if e, ok := c.entries[key]; ok {
+			c.tick++
+			e.seq = c.tick
+			select {
+			case <-e.ready:
+				if e.err != nil {
+					// A failed entry awaiting cleanup (the leader drops
+					// it right after closing ready): treat it as absent
+					// and take leadership instead of replaying a stale
+					// failure.
+					if cur, live := c.entries[key]; live && cur == e {
+						delete(c.entries, key)
+					}
+					c.mu.Unlock()
+					continue
+				}
+				ks.Hits++
+				c.mu.Unlock()
+				return e.val, true, nil
+			default:
+				c.waiters++
+				c.mu.Unlock()
+				var ctxErr error
+				select {
+				case <-e.ready:
+				case <-ctx.Done():
+					ctxErr = ctx.Err()
+				}
+				c.mu.Lock()
+				c.waiters--
+				// Only read e.abandoned when ready's close ordered the
+				// leader's write before us (ctxErr == nil guarantees we
+				// woke via <-e.ready); short-circuit keeps the racy
+				// read from ever happening on the cancelled path.
+				abandoned := ctxErr == nil && e.abandoned
+				if !abandoned {
+					ks.Shared++
+				}
+				c.mu.Unlock()
+				if ctxErr != nil {
+					return nil, false, ctxErr
+				}
+				if abandoned {
+					continue // leader cancelled: re-elect
+				}
+				return e.val, true, e.err
+			}
+		}
+		ks.Misses++
+		c.tick++
+		e := &entry{key: key, ready: make(chan struct{}), seq: c.tick}
+		c.entries[key] = e
+		c.mu.Unlock()
+		return c.lead(ctx, key, e, compute)
+	}
+}
+
+// lead runs compute as the entry's leader and publishes the outcome.
+func (c *Cache) lead(ctx context.Context, key Key, e *entry, compute func(ctx context.Context) (any, error)) (any, bool, error) {
 	// A compute that panics (e.g. a parser bug on hostile input) must
 	// not wedge the key: waiters would block on ready forever and the
 	// in-flight entry is exempt from eviction and Purge. Fail the
@@ -178,7 +285,17 @@ func (c *Cache) Do(key Key, compute func() (any, error)) (val any, hit bool, err
 			panic(r)
 		}
 	}()
-	e.val, e.err = compute()
+	e.val, e.err = compute(ctx)
+	if e.err != nil && ctx.Err() != nil &&
+		(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// The leader was cancelled, not the computation refuted:
+		// waiters must re-elect, not inherit the cancellation. Both
+		// conditions matter — a genuine, deterministic error that
+		// merely races the leader's cancellation must propagate to
+		// waiters instead of making each of them redundantly recompute
+		// the same failure.
+		e.abandoned = true
+	}
 	close(e.ready)
 
 	c.mu.Lock()
@@ -228,6 +345,19 @@ func (c *Cache) Get(key Key) (any, bool) {
 	return e.val, true
 }
 
+// capFor returns one kind's entry budget: the configured cap, except
+// the fused kind, whose entries are far heavier (see
+// fusedCapacityDivisor).
+func (c *Cache) capFor(kind Kind) int {
+	if kind != KindFused {
+		return c.cap
+	}
+	if n := c.cap / fusedCapacityDivisor; n > 0 {
+		return n
+	}
+	return 1
+}
+
 // evictLocked drops least-recently-used completed entries of the
 // just-inserted kind until that kind fits its cap. Eviction is
 // per-kind so a flood of cheap artifacts (256 distinct statements
@@ -235,6 +365,7 @@ func (c *Cache) Get(key Key) (any, bool) {
 // match costs seconds) — each kind owns its own budget. In-flight
 // entries are never evicted (their callers hold references).
 func (c *Cache) evictLocked(kind Kind) {
+	cap := c.capFor(kind)
 	for {
 		count := 0
 		var victim *entry
@@ -252,7 +383,7 @@ func (c *Cache) evictLocked(kind Kind) {
 				victim = e
 			}
 		}
-		if count <= c.cap || victim == nil {
+		if count <= cap || victim == nil {
 			return
 		}
 		delete(c.entries, victim.key)
@@ -289,7 +420,13 @@ func (c *Cache) Len() int {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := Stats{Entries: len(c.entries), Capacity: c.cap, Kinds: make(map[Kind]KindStats, len(c.stats))}
+	out := Stats{
+		Entries:       len(c.entries),
+		Capacity:      c.cap,
+		FusedCapacity: c.capFor(KindFused),
+		Waiters:       c.waiters,
+		Kinds:         make(map[Kind]KindStats, len(c.stats)),
+	}
 	for k, ks := range c.stats {
 		out.Kinds[k] = *ks
 	}
@@ -373,6 +510,28 @@ func DetectKey(relFP string, cfg any) Key {
 // accepts arbitrary statements from clients.
 func PlanKey(query string) Key {
 	return Key{Kind: KindPlan, Fingerprint: query}
+}
+
+// FusedKey builds the cache key of a complete fused query result. The
+// plan fingerprint is the raw statement text — collision-free for the
+// same reason PlanKey's is: hummerd accepts arbitrary statements, and
+// any lossy rendering risks two statements sharing an entry. The
+// source fingerprints cover the participating relations in query
+// order, and the config fingerprint covers every knob that can change
+// the output (match + detect configuration and the resolution-
+// registry version). Each component is length-prefixed so no
+// concatenation of one key's parts can collide with another's.
+func FusedKey(planFP string, sourceFPs []string, cfgFP string) Key {
+	var b strings.Builder
+	writePart := func(p string) {
+		fmt.Fprintf(&b, "%d:%s|", len(p), p)
+	}
+	writePart(planFP)
+	for _, fp := range sourceFPs {
+		writePart(fp)
+	}
+	writePart(cfgFP)
+	return Key{Kind: KindFused, Fingerprint: b.String()}
 }
 
 func putUint64(buf *[8]byte, v uint64) {

@@ -135,7 +135,9 @@ func TestDoPanicDoesNotWedgeKey(t *testing.T) {
 		waiter <- err
 	}()
 	// Let the waiter reach the in-flight entry, then fire the panic.
-	for c.Stats().Kinds[KindPlan].Shared == 0 {
+	// (Shared is counted when a waiter resolves, not when it attaches;
+	// the Waiters gauge is the attach observable.)
+	for c.Stats().Waiters == 0 {
 		select {
 		case err := <-waiter:
 			t.Fatalf("waiter returned before the flight resolved: %v", err)

@@ -5,9 +5,10 @@
 // inspect lineage and resolution functions, and observe the versioned
 // artifact cache through the stats endpoint.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON unless noted):
 //
 //	GET    /healthz              liveness + uptime
+//	GET    /metrics              Prometheus text exposition
 //	GET    /v1/stats             server counters, DB stats, cache traffic
 //	GET    /v1/sources           registered sources with generations
 //	POST   /v1/sources           register (or replace) a source
@@ -19,26 +20,46 @@
 // Queries run concurrently: the underlying DB serializes nothing but
 // the metadata maps, and the artifact cache's singleflight ensures a
 // thundering herd of identical queries computes each expensive
-// artifact (DUMAS match, duplicate detection, parsed plan) once.
+// artifact (fused results, DUMAS matches, duplicate detections,
+// parsed plans) once.
+//
+// # Query lifecycle
+//
+// Every query runs under the request's context, bounded by the
+// configured query timeout: a client that hangs up cancels its
+// pipeline mid-flight (reported with the Nginx-style 499 status), an
+// elapsed timeout aborts it with 504, and WithMaxInflight bounds
+// concurrent query admission — over-limit requests are rejected
+// immediately with 429 instead of queueing without bound.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"hummer"
+	"hummer/internal/qcache"
 	"hummer/internal/value"
 )
 
 // maxBodyBytes caps request bodies: inline sources are meant for
 // quickstarts and tests, not bulk loading.
 const maxBodyBytes = 16 << 20
+
+// StatusClientClosedRequest is the Nginx-convention status for "the
+// client closed the connection before the response was ready"; the
+// Go standard library has no name for it.
+const StatusClientClosedRequest = 499
 
 // Server is the hummerd HTTP API over one shared DB.
 type Server struct {
@@ -53,6 +74,22 @@ type Server struct {
 	// vector. Startup flags register files regardless — the operator
 	// launching the process already has the files.
 	allowPathSources bool
+
+	// queryTimeout bounds each query's execution; 0 means unbounded.
+	queryTimeout time.Duration
+	// maxInflight caps concurrently executing queries; 0 means
+	// unbounded. Admission is immediate-reject (429), never queueing.
+	maxInflight int64
+
+	// Query lifecycle counters (exposed by /v1/stats and /metrics).
+	inflight     atomic.Int64
+	rejected     atomic.Uint64
+	clientGone   atomic.Uint64
+	timeouts     atomic.Uint64
+	bodyTimeouts atomic.Uint64
+	queryCount   atomic.Uint64
+	queryErrors  atomic.Uint64
+	queryNanos   atomic.Uint64
 }
 
 // Option configures a Server.
@@ -65,6 +102,31 @@ func AllowPathSources() Option {
 	return func(s *Server) { s.allowPathSources = true }
 }
 
+// WithQueryTimeout bounds every query's execution: when d elapses the
+// pipeline is cancelled mid-flight (cooperatively, with all worker
+// goroutines joined) and the client receives a 504. d <= 0 means no
+// timeout.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.queryTimeout = d
+		}
+	}
+}
+
+// WithMaxInflight caps the number of concurrently executing queries.
+// Requests over the cap are rejected immediately with 429 — bounded
+// admission instead of unbounded queueing — so a burst degrades
+// loudly and recoverably rather than piling up work for clients that
+// may already be gone. n <= 0 means unbounded.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxInflight = int64(n)
+		}
+	}
+}
+
 // New builds a Server over db.
 func New(db *hummer.DB, opts ...Option) *Server {
 	s := &Server{db: db, mux: http.NewServeMux(), start: time.Now()}
@@ -72,6 +134,7 @@ func New(db *hummer.DB, opts ...Option) *Server {
 		o(s)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/sources", s.handleListSources)
 	s.mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
@@ -109,13 +172,21 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
 		var maxErr *http.MaxBytesError
 		if errors.As(err, &maxErr) {
 			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+			return false
+		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			// The per-slot read deadline fired while the client was
+			// still sending: a server-side timeout, not a syntax
+			// error — classify and count it as such.
+			s.bodyTimeouts.Add(1)
+			writeError(w, http.StatusRequestTimeout, "timed out reading the request body")
 			return false
 		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -139,16 +210,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Requests      uint64       `json:"requests"`
-	DB            hummer.Stats `json:"db"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      uint64  `json:"requests"`
+	// InflightQueries is the number of queries executing right now;
+	// RejectedQueries counts 429s from the inflight cap.
+	InflightQueries int64  `json:"inflight_queries"`
+	RejectedQueries uint64 `json:"rejected_queries"`
+	// ClientDisconnects counts queries cancelled because the client
+	// hung up (499); QueryTimeouts counts queries aborted by the
+	// query timeout (504); BodyReadTimeouts counts requests whose
+	// body read outlived the per-slot deadline (408).
+	ClientDisconnects uint64 `json:"client_disconnects"`
+	QueryTimeouts     uint64 `json:"query_timeouts"`
+	BodyReadTimeouts  uint64 `json:"body_read_timeouts"`
+	// QuerySeconds is the total wall-clock time spent executing
+	// queries (sum over all /v1/query calls, including failed ones).
+	QuerySeconds float64      `json:"query_seconds"`
+	DB           hummer.Stats `json:"db"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Requests:      s.requests.Load(),
-		DB:            s.db.Stats(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Requests:          s.requests.Load(),
+		InflightQueries:   s.inflight.Load(),
+		RejectedQueries:   s.rejected.Load(),
+		ClientDisconnects: s.clientGone.Load(),
+		QueryTimeouts:     s.timeouts.Load(),
+		BodyReadTimeouts:  s.bodyTimeouts.Load(),
+		QuerySeconds:      float64(s.queryNanos.Load()) / float64(time.Second),
+		DB:                s.db.Stats(),
 	})
 }
 
@@ -180,7 +271,7 @@ type registerRequest struct {
 
 func (s *Server) handleRegisterSource(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Alias == "" {
@@ -336,18 +427,82 @@ type queryResponse struct {
 	Lineage  [][]cellLineage `json:"lineage,omitempty"`
 }
 
+// errHandled marks a request whose response was already written by a
+// helper (decode failure, validation error) — the caller just returns.
+var errHandled = errors.New("server: response already written")
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Bounded admission first — before the (up to maxBodyBytes) body
+	// is even read: the cap exists to shed work under overload, so an
+	// over-limit request must not cost a 16MB decode on its way to
+	// the 429.
+	if n := s.inflight.Add(1); s.maxInflight > 0 && n > s.maxInflight {
+		s.inflight.Add(-1)
+		s.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests,
+			"server is at its inflight query limit (%d); retry later", s.maxInflight)
+		return
+	}
+
+	// The slot covers the body read and the query execution — the
+	// phases overload protection must bound — and is released before
+	// the response is encoded, so a slow-reading client cannot pin
+	// admission capacity while the DB sits idle.
 	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	res, err := func() (*hummer.Result, error) {
+		defer s.inflight.Add(-1)
+		// One deadline budgets the whole slot-holding span: the body
+		// read (without a bound, a client trickling bytes could pin
+		// admission capacity for days) and the query execution share
+		// it, so a slot is never held longer than the query timeout.
+		ctx := r.Context()
+		if s.queryTimeout > 0 {
+			deadline := time.Now().Add(s.queryTimeout)
+			rc := http.NewResponseController(w)
+			_ = rc.SetReadDeadline(deadline)
+			defer func() { _ = rc.SetReadDeadline(time.Time{}) }()
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+		if !s.decodeBody(w, r, &req) {
+			return nil, errHandled
+		}
+		if strings.TrimSpace(req.SQL) == "" {
+			writeError(w, http.StatusBadRequest, "sql is required")
+			return nil, errHandled
+		}
+
+		// The query runs under the request context — a hung-up client
+		// cancels the pipeline mid-flight — bounded by the shared
+		// deadline above.
+		start := time.Now()
+		res, err := s.db.QueryContext(ctx, req.SQL)
+		s.queryCount.Add(1)
+		s.queryNanos.Add(uint64(time.Since(start)))
+		return res, err
+	}()
+	if errors.Is(err, errHandled) {
 		return
 	}
-	if strings.TrimSpace(req.SQL) == "" {
-		writeError(w, http.StatusBadRequest, "sql is required")
-		return
-	}
-	res, err := s.db.Query(req.SQL)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.queryErrors.Add(1)
+		canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+		switch {
+		case canceled && r.Context().Err() != nil:
+			// The query actually died of cancellation AND the client
+			// hung up; it will likely never read this, but the status
+			// documents the outcome in logs and proxies. A genuine
+			// query error that merely races a disconnect keeps its own
+			// classification below.
+			s.clientGone.Add(1)
+			writeError(w, StatusClientClosedRequest, "client closed request: %v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "query exceeded the %s timeout", s.queryTimeout)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	resp := queryResponse{
@@ -399,6 +554,82 @@ func (s *Server) handleFunctions(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePurgeCache(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"purged": s.db.PurgeCache()})
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+// handleMetrics serves the Prometheus text exposition format
+// (version 0.0.4): query counts and latency, the inflight gauge,
+// admission rejections, cancellation/timeout counts and the per-kind
+// artifact-cache traffic, including the fused-result tier.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.db.Stats()
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+
+	counter("hummer_requests_total", "HTTP requests received.", s.requests.Load())
+	counter("hummer_queries_total", "Queries executed via /v1/query.", s.queryCount.Load())
+	counter("hummer_query_errors_total", "Queries that returned an error (including cancellations and timeouts).", s.queryErrors.Load())
+	counter("hummer_queries_rejected_total", "Queries rejected by the inflight admission cap (HTTP 429).", s.rejected.Load())
+	counter("hummer_query_client_disconnects_total", "Queries cancelled because the client closed the connection (HTTP 499).", s.clientGone.Load())
+	counter("hummer_query_timeouts_total", "Queries aborted by the query timeout (HTTP 504).", s.timeouts.Load())
+	counter("hummer_body_read_timeouts_total", "Requests whose body read outlived the per-slot deadline (HTTP 408).", s.bodyTimeouts.Load())
+	gauge("hummer_inflight_queries", "Queries executing right now.", float64(s.inflight.Load()))
+	gauge("hummer_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+
+	// Query latency as a Prometheus summary without quantiles: _sum
+	// over _count gives the mean; rate() over both gives a live mean.
+	fmt.Fprintf(&b, "# HELP hummer_query_duration_seconds Wall-clock query execution time.\n")
+	fmt.Fprintf(&b, "# TYPE hummer_query_duration_seconds summary\n")
+	fmt.Fprintf(&b, "hummer_query_duration_seconds_sum %s\n", formatFloat(float64(s.queryNanos.Load())/float64(time.Second)))
+	fmt.Fprintf(&b, "hummer_query_duration_seconds_count %d\n", s.queryCount.Load())
+
+	counter("hummer_db_queries_total", "Statements executed by the DB (all entry points).", st.Queries)
+	counter("hummer_db_fuse_queries_total", "Statements that ran the fusion pipeline.", st.FuseQueries)
+	counter("hummer_db_query_errors_total", "Statements that failed.", st.QueryErrors)
+	gauge("hummer_sources", "Registered data sources.", float64(len(st.Sources)))
+
+	gauge("hummer_cache_entries", "Resident artifact-cache entries.", float64(st.Cache.Entries))
+	gauge("hummer_cache_waiters", "Callers currently blocked on in-flight cache computations.", float64(st.Cache.Waiters))
+	kinds := make([]string, 0, len(st.Cache.Kinds))
+	for k := range st.Cache.Kinds {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	cacheCounter := func(name, help string, get func(qcache.KindStats) uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "%s{kind=%q} %d\n", name, k, get(st.Cache.Kinds[qcache.Kind(k)]))
+		}
+	}
+	if len(kinds) > 0 {
+		cacheCounter("hummer_cache_hits_total", "Artifact-cache lookups served from a completed entry.",
+			func(ks qcache.KindStats) uint64 { return ks.Hits })
+		cacheCounter("hummer_cache_misses_total", "Artifact-cache lookups that computed the artifact.",
+			func(ks qcache.KindStats) uint64 { return ks.Misses })
+		cacheCounter("hummer_cache_shared_total", "Artifact-cache lookups that piggybacked on an in-flight computation.",
+			func(ks qcache.KindStats) uint64 { return ks.Shared })
+		cacheCounter("hummer_cache_evictions_total", "Artifact-cache entries evicted to respect the capacity.",
+			func(ks qcache.KindStats) uint64 { return ks.Evictions })
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// formatFloat renders a float the way Prometheus expects: plain
+// decimal, no exponent for the magnitudes we emit.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // rowJSON renders one row with JSON-native cells: NULL → null,

@@ -108,9 +108,10 @@ func cacheKinds(t *testing.T, ts *httptest.Server) map[string]struct {
 
 // TestWarmQuerySkipsRecomputation is the acceptance test of the
 // hummerd subsystem: a repeated FUSE BY query must be served from the
-// artifact cache — the DUMAS match and the duplicate detection are
-// not recomputed (observable through the stats endpoint) — and the
-// warm response must be byte-identical to the cold one.
+// fused-result cache tier — matching, detection, merging and fusion
+// all skipped (observable through the stats endpoint: the match and
+// detect tiers are never consulted again) — and the warm response
+// must be byte-identical to the cold one.
 func TestWarmQuerySkipsRecomputation(t *testing.T) {
 	ts := newTestServer(t)
 	registerStudents(t, ts)
@@ -120,7 +121,7 @@ func TestWarmQuerySkipsRecomputation(t *testing.T) {
 		t.Fatalf("cold query: status %d: %s", status, cold)
 	}
 	kinds := cacheKinds(t, ts)
-	for _, kind := range []string{"plan", "match", "detect"} {
+	for _, kind := range []string{"plan", "fused", "match", "detect"} {
 		ks := kinds[kind]
 		if ks.Misses != 1 || ks.Hits != 0 {
 			t.Fatalf("cold %s counters = %+v, want exactly 1 miss, 0 hits", kind, ks)
@@ -135,7 +136,7 @@ func TestWarmQuerySkipsRecomputation(t *testing.T) {
 		t.Fatalf("warm result differs from cold result:\ncold: %s\nwarm: %s", cold, warm)
 	}
 	kinds = cacheKinds(t, ts)
-	for _, kind := range []string{"plan", "match", "detect"} {
+	for _, kind := range []string{"plan", "fused"} {
 		ks := kinds[kind]
 		if ks.Misses != 1 {
 			t.Errorf("warm %s recomputed: %+v", kind, ks)
@@ -144,10 +145,17 @@ func TestWarmQuerySkipsRecomputation(t *testing.T) {
 			t.Errorf("warm %s not served from cache: %+v", kind, ks)
 		}
 	}
+	// The fused tier absorbed the warm query before the per-phase
+	// tiers were consulted: match and detect saw exactly the cold run.
+	for _, kind := range []string{"match", "detect"} {
+		if ks := kinds[kind]; ks.Misses != 1 || ks.Hits != 0 {
+			t.Errorf("warm query leaked past the fused tier into %s: %+v", kind, ks)
+		}
+	}
 
 	// An overlapping query — same sources, different SELECT list —
-	// must reuse the match and detect artifacts too (only the plan is
-	// new).
+	// misses the fused tier but must reuse the match and detect
+	// artifacts (only the plan and fused result are new).
 	overlapping := `SELECT Name, RESOLVE(City, coalesce)
 		FUSE FROM EE_Student, CS_Students
 		FUSE BY (Name)
@@ -157,10 +165,13 @@ func TestWarmQuerySkipsRecomputation(t *testing.T) {
 		t.Fatalf("overlapping query: status %d: %s", status, body)
 	}
 	kinds = cacheKinds(t, ts)
-	if ks := kinds["match"]; ks.Misses != 1 || ks.Hits != 2 {
+	if ks := kinds["fused"]; ks.Misses != 2 || ks.Hits != 1 {
+		t.Errorf("overlapping query must miss the fused tier: %+v", ks)
+	}
+	if ks := kinds["match"]; ks.Misses != 1 || ks.Hits != 1 {
 		t.Errorf("overlapping query must reuse the match artifact: %+v", ks)
 	}
-	if ks := kinds["detect"]; ks.Misses != 1 || ks.Hits != 2 {
+	if ks := kinds["detect"]; ks.Misses != 1 || ks.Hits != 1 {
 		t.Errorf("overlapping query must reuse the detect artifact: %+v", ks)
 	}
 	if ks := kinds["plan"]; ks.Misses != 2 {
