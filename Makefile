@@ -23,9 +23,9 @@ RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
 COVER_FLOOR = 70
 
-.PHONY: check fmtcheck fmt vet build test race cover bench bench-short serve
+.PHONY: check fmtcheck fmt vet build test race race-stream cover bench bench-short serve
 
-check: fmtcheck vet build test race cover bench-short
+check: fmtcheck vet build test race race-stream cover bench-short
 
 fmtcheck:
 	@unformatted=$$(gofmt -l .); \
@@ -50,6 +50,14 @@ test:
 # and hummerd serves queries concurrently.
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# The streaming/batch API surface (Rows producer goroutines, NDJSON
+# streaming, per-statement deadlines) exercised under the race
+# detector with verbose-enough selection that a hang is attributable.
+# Redundant with `race` on coverage, but a fast, targeted signal when
+# iterating on the streaming path.
+race-stream:
+	$(GO) test -race -run 'Stream|Rows|Batch' . ./internal/plan ./internal/server
 
 # Launch the query service on the quickstart example sources; stop it
 # with Ctrl-C (hummerd shuts down gracefully). See README.md for a

@@ -14,7 +14,13 @@
 //	-xml alias=path:tag  register an XML source (repeatable)
 //	-query SQL           the query; reads stdin when omitted
 //	-lineage             annotate each cell with its sources
-//	-trace               print the pipeline intermediates
+//	-no-lineage          don't compute a lineage payload at all
+//	                     (queries with WithLineage(false))
+//	-trace               print the pipeline intermediates (queries
+//	                     with WithTrace: intermediates are opt-in)
+//	-no-trace            drop the intermediates even from a cold run
+//	                     (the slimmest result; conflicts with -trace)
+//	-timeout D           per-query deadline (e.g. 30s; 0 = none)
 //	-parallel N          duplicate-detection worker goroutines
 //	                     (0 = GOMAXPROCS, 1 = sequential; identical results)
 //	-window W            sorted-neighborhood candidate generation
@@ -54,7 +60,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.Var(&xmls, "xml", "alias=path:recordTag of an XML source (repeatable)")
 	query := fs.String("query", "", "the query; stdin when omitted")
 	lineageFlag := fs.Bool("lineage", false, "annotate cells with their sources")
-	trace := fs.Bool("trace", false, "print pipeline intermediates")
+	noLineage := fs.Bool("no-lineage", false, "drop the per-cell lineage from the result")
+	trace := fs.Bool("trace", false, "print pipeline intermediates (opt-in per query)")
+	noTrace := fs.Bool("no-trace", false, "drop pipeline intermediates even from a cold run")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	parallel := fs.Int("parallel", 0, "duplicate-detection workers (0 = GOMAXPROCS, 1 = sequential)")
 	window := fs.Int("window", 0, "sorted-neighborhood window (0 = exhaustive pairing)")
 	block := fs.Int("block", 0, "prefix-blocking key length in runes (0 = off)")
@@ -126,7 +135,31 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no query given (use -query or pipe via stdin)")
 	}
 
-	res, err := db.Query(q)
+	// The per-query options: -trace opts in to the pipeline
+	// intermediates (they are no longer an always-on payload),
+	// -no-trace/-no-lineage strip the result down to the table, and
+	// -timeout bounds the query with its own deadline.
+	if *trace && *noTrace {
+		return fmt.Errorf("-trace and -no-trace conflict")
+	}
+	if *lineageFlag && *noLineage {
+		return fmt.Errorf("-lineage and -no-lineage conflict")
+	}
+	var opts []hummer.QueryOption
+	if *trace {
+		opts = append(opts, hummer.WithTrace())
+	}
+	if *noTrace {
+		opts = append(opts, hummer.WithoutTrace())
+	}
+	if *noLineage {
+		opts = append(opts, hummer.WithLineage(false))
+	}
+	if *timeout > 0 {
+		opts = append(opts, hummer.WithTimeout(*timeout))
+	}
+
+	res, err := db.Query(q, opts...)
 	if err != nil {
 		return err
 	}

@@ -30,7 +30,9 @@
 // Every query runs under its request's context: a client that hangs
 // up cancels its own pipeline mid-flight (logged as 499), so slow
 // matches and detections never hold worker pools for clients that are
-// gone. Prometheus metrics are served on /metrics.
+// gone. Large results stream as NDJSON via POST /v1/query/stream;
+// POST /v1/batch executes several statements per request, each under
+// its own deadline. Prometheus metrics are served on /metrics.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests get up to 10 seconds to finish.

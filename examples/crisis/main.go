@@ -55,7 +55,7 @@ func main() {
 		       RESOLVE(Camp, coalesce) AS LastLocation
 		FUSE FROM field_reports, hospital, agency
 		FUSE BY (Name)
-		ORDER BY Name`)
+		ORDER BY Name`, hummer.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,12 +38,13 @@ func main() {
 
 	// The exact statement from the paper: students are identified by
 	// name, and age conflicts resolve to the maximum (students only
-	// get older).
+	// get older). WithTrace opts in to the pipeline intermediates —
+	// they are a per-query option now, not an always-on payload.
 	res, err := db.Query(`
 		SELECT Name, RESOLVE(Age, max)
 		FUSE FROM EE_Student, CS_Students
 		FUSE BY (Name)
-		ORDER BY Name`)
+		ORDER BY Name`, hummer.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,5 +64,24 @@ func main() {
 	if p.Detection != nil {
 		fmt.Printf("duplicate detection: %d tuples → %d real-world objects\n",
 			p.Merged.Len(), len(p.Detection.Clusters))
+	}
+
+	// The same query as a stream: rows arrive one at a time instead of
+	// as one materialized table — the shape to use when results are
+	// large. All() closes the cursor when the loop ends.
+	rows, err := db.QueryRows(context.Background(), `
+		SELECT Name, RESOLVE(Age, max)
+		FUSE FROM EE_Student, CS_Students
+		FUSE BY (Name)
+		ORDER BY Name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nStreamed:")
+	for row, err := range rows.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-16s %s\n", row[0].Text(), row[1].Text())
 	}
 }

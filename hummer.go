@@ -29,6 +29,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hummer/internal/core"
 	"hummer/internal/dumas"
@@ -100,6 +101,14 @@ type (
 	// CacheStats reports the artifact cache's traffic per artifact
 	// kind (parsed plans, DUMAS matches, detection results).
 	CacheStats = qcache.Stats
+	// FusionSummary condenses what a fusion query's pipeline did —
+	// the wizard visualization's numbers without the tables. Present
+	// on every fusion Result (including slim cache hits) as
+	// Result.Summary.
+	FusionSummary = core.Summary
+	// Rows is a streaming cursor over one query's result: Next/Scan/
+	// Err/Close plus a Go 1.23 All() adapter. See DB.QueryRows.
+	Rows = plan.Rows
 	// Values re-exported for building rows and custom resolution
 	// functions.
 	Kind = value.Kind
@@ -215,17 +224,112 @@ func (db *DB) newPipelineLocked() *core.Pipeline {
 // newExecutor builds a per-query executor with a snapshot of the
 // current configuration and hooks, taken atomically under one lock,
 // so concurrent Set*/On* calls never race with an in-flight query or
-// tear its configuration.
-func (db *DB) newExecutor() *plan.Executor {
+// tear its configuration. Per-query option overrides (WithDetectConfig,
+// WithMatchConfig) replace the snapshot wholesale.
+func (db *DB) newExecutor(cfg *queryConfig) *plan.Executor {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return &plan.Executor{
+	e := &plan.Executor{
 		Repo:     db.repo,
 		Registry: db.registry,
 		Pipeline: db.newPipelineLocked(),
 		Detect:   db.detect,
 		Match:    db.match,
 		Cache:    db.cache,
+	}
+	if cfg != nil {
+		if cfg.detect != nil {
+			e.Detect = *cfg.detect
+		}
+		if cfg.match != nil {
+			e.Match = *cfg.match
+		}
+	}
+	return e
+}
+
+// --- Per-query options ------------------------------------------------------
+
+// queryConfig is the resolved form of a QueryOption list. The zero
+// value reproduces the historical behaviour exactly.
+type queryConfig struct {
+	trace     bool
+	noTrace   bool
+	noLineage bool
+	timeout   time.Duration
+	detect    *dupdetect.Config
+	match     *dumas.Config
+}
+
+func resolveOptions(opts []QueryOption) queryConfig {
+	var cfg queryConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+func (cfg *queryConfig) exec() plan.ExecOptions {
+	return plan.ExecOptions{
+		Trace:     cfg.trace,
+		NoTrace:   cfg.noTrace,
+		NoLineage: cfg.noLineage,
+		Timeout:   cfg.timeout,
+	}
+}
+
+// QueryOption configures one query. Options make trace intermediates
+// and lineage opt-in/opt-out per query instead of DB-global state, and
+// let a single statement carry its own pipeline configuration and
+// deadline.
+type QueryOption func(*queryConfig)
+
+// WithTrace requests the pipeline intermediates: the Result's
+// Pipeline field is guaranteed non-nil for fusion statements. A
+// tracing query bypasses the fused-result cache tier (whose entries
+// are slim and carry no intermediates) and recomputes the pipeline;
+// the per-phase match/detect tiers still apply, so the recompute is
+// cheap on a warm cache.
+func WithTrace() QueryOption {
+	return func(cfg *queryConfig) { cfg.trace = true }
+}
+
+// WithoutTrace drops the pipeline intermediates from the Result even
+// when a cache-missing run computed them — the slimmest result for
+// callers that only need the table (and, for fusion, the Summary).
+// Servers use this: hummerd's endpoints never retain intermediates.
+func WithoutTrace() QueryOption {
+	return func(cfg *queryConfig) { cfg.noTrace = true }
+}
+
+// WithLineage includes (true, the historical default) or drops
+// (false) the per-cell lineage of fusion results.
+func WithLineage(on bool) QueryOption {
+	return func(cfg *queryConfig) { cfg.noLineage = !on }
+}
+
+// WithDetectConfig runs this query with its own duplicate-detection
+// configuration instead of the DB-wide SetDetectConfig default.
+func WithDetectConfig(cfg DetectionConfig) QueryOption {
+	return func(qc *queryConfig) { qc.detect = &cfg }
+}
+
+// WithMatchConfig runs this query with its own DUMAS schema-matching
+// configuration instead of the DB-wide SetMatchConfig default.
+func WithMatchConfig(cfg MatchConfig) QueryOption {
+	return func(qc *queryConfig) { qc.match = &cfg }
+}
+
+// WithTimeout bounds this query with its own deadline, layered over
+// (never extending) the caller's context. In a batch, the deadline
+// applies to each statement individually.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(cfg *queryConfig) {
+		if d > 0 {
+			cfg.timeout = d
+		}
 	}
 }
 
@@ -310,9 +414,10 @@ func (db *DB) ResolutionFunctions() []string { return db.registry.Names() }
 // Query parses and executes a SELECT or FUSE BY statement. Safe for
 // concurrent use: each call runs over a snapshot of the configuration
 // and shares pipeline artifacts through the cache. It is QueryContext
-// with a background context: it cannot be cancelled.
-func (db *DB) Query(sql string) (*Result, error) {
-	return db.QueryContext(context.Background(), sql)
+// with a background context: it cannot be cancelled (though a
+// WithTimeout option still bounds it).
+func (db *DB) Query(sql string, opts ...QueryOption) (*Result, error) {
+	return db.QueryContext(context.Background(), sql, opts...)
 }
 
 // QueryContext parses and executes a SELECT or FUSE BY statement,
@@ -324,17 +429,114 @@ func (db *DB) Query(sql string) (*Result, error) {
 // and returns the byte-identical result. A query whose singleflight
 // leader is cancelled does not poison concurrent identical queries:
 // they re-elect a leader and continue.
-func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+//
+// Options tune this one query: WithTrace/WithoutTrace and
+// WithLineage control how much of the pipeline the Result retains,
+// WithDetectConfig/WithMatchConfig override the DB-wide phase
+// configuration, and WithTimeout layers a per-statement deadline over
+// ctx. With zero options the call behaves exactly as it always has;
+// note that a Result served warm from the fused cache tier is slim —
+// its Pipeline is nil unless WithTrace was requested (Summary carries
+// the pipeline's numbers either way).
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	cfg := resolveOptions(opts)
 	db.queries.Add(1)
-	res, err := db.newExecutor().QueryContext(ctx, sql)
+	res, err := db.newExecutor(&cfg).QueryWith(ctx, sql, cfg.exec())
 	if err != nil {
 		db.queryErrors.Add(1)
 		return nil, err
 	}
-	if res.Pipeline != nil {
+	if res.Summary != nil {
 		db.fuseQueries.Add(1)
 	}
 	return res, nil
+}
+
+// QueryRows parses and executes a statement like QueryContext but
+// returns a streaming cursor instead of a materialized Result: plain
+// SELECTs stream rows out of the scan as it advances (cancelling ctx
+// stops it mid-scan), fusion statements stream the fused table in
+// chunks once the pipeline has run — warm queries straight from the
+// slim fused-cache entry. Draining the cursor yields exactly the rows
+// of the equivalent QueryContext call, in the same order.
+//
+// The caller must Close the cursor (Rows.All does so automatically).
+// Parse errors return synchronously; execution errors surface through
+// Rows.Columns, Next and Err.
+func (db *DB) QueryRows(ctx context.Context, sql string, opts ...QueryOption) (*Rows, error) {
+	cfg := resolveOptions(opts)
+	db.queries.Add(1)
+	exec := cfg.exec()
+	// A stream's outcome is only known when its producer finishes, so
+	// the fusion/error counters hook the finish callback: Stats stays
+	// honest whether a statement was materialized or streamed. A
+	// deliberate early Close reports a nil error (not a failure).
+	exec.OnFinish = func(summary *core.Summary, err error) {
+		if err != nil {
+			db.queryErrors.Add(1)
+		}
+		if summary != nil {
+			db.fuseQueries.Add(1)
+		}
+	}
+	rows, err := db.newExecutor(&cfg).StreamContext(ctx, sql, exec)
+	if err != nil {
+		db.queryErrors.Add(1)
+		return nil, err
+	}
+	return rows, nil
+}
+
+// BatchResult is one statement's outcome within a QueryBatch call.
+type BatchResult struct {
+	// SQL is the statement this result belongs to, verbatim.
+	SQL string
+	// Result is the statement's result; nil when Err is set.
+	Result *Result
+	// Err is the statement's error: a parse/execution failure, this
+	// statement's elapsed WithTimeout deadline, or the batch context's
+	// cancellation. Each statement fails independently — a failed
+	// statement never prevents the ones after it from running (only
+	// cancelling the batch's ctx does).
+	Err error
+	// Elapsed is the statement's wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// QueryBatch executes several statements in order over one
+// configuration snapshot, returning a result (or error) per
+// statement. Options apply to every statement; WithTimeout becomes a
+// *per-statement* deadline over the PR-4 context substrate — a slow
+// statement is cancelled mid-pipeline without eating the budget of
+// the statements after it. Cancelling ctx aborts the rest of the
+// batch: undone statements report ctx's error.
+func (db *DB) QueryBatch(ctx context.Context, stmts []string, opts ...QueryOption) []BatchResult {
+	cfg := resolveOptions(opts)
+	ex := db.newExecutor(&cfg)
+	out := make([]BatchResult, len(stmts))
+	for i, q := range stmts {
+		out[i].SQL = q
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			db.queries.Add(1)
+			db.queryErrors.Add(1)
+			continue
+		}
+		start := time.Now()
+		res, err := ex.QueryWith(ctx, q, cfg.exec())
+		out[i].Elapsed = time.Since(start)
+		db.queries.Add(1)
+		if err != nil {
+			out[i].Err = err
+			db.queryErrors.Add(1)
+			continue
+		}
+		out[i].Result = res
+		if res.Summary != nil {
+			db.fuseQueries.Add(1)
+		}
+	}
+	return out
 }
 
 // SetDetectConfig installs the default duplicate-detection

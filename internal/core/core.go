@@ -93,6 +93,45 @@ type Result struct {
 	Fused *fusion.Result
 }
 
+// Summary condenses what a pipeline run did — the numbers of the
+// demo's step-by-step visualization — without referencing any of the
+// intermediate tables, so it can outlive the run (in a slim cache
+// entry, a streamed trailer, an API response) at a few dozen bytes.
+type Summary struct {
+	// Sources is the number of participating sources.
+	Sources int `json:"sources"`
+	// MergedRows counts the rows of the full outer union the fusion
+	// ran over (after the WHERE filter).
+	MergedRows int `json:"merged_rows"`
+	// Correspondences counts the attribute correspondences DUMAS
+	// applied across all sources.
+	Correspondences int `json:"correspondences"`
+	// Clusters, DuplicatePairs and BorderlinePairs summarize the
+	// duplicate detection (zero under ExactGrouping).
+	Clusters        int `json:"clusters"`
+	DuplicatePairs  int `json:"duplicate_pairs"`
+	BorderlinePairs int `json:"borderline_pairs"`
+}
+
+// Summary computes the run's summary numbers from the intermediates.
+func (r *Result) Summary() *Summary {
+	s := &Summary{Sources: len(r.Sources)}
+	if r.Merged != nil {
+		s.MergedRows = r.Merged.Len()
+	}
+	for _, m := range r.Matches {
+		if m != nil {
+			s.Correspondences += len(m.Correspondences)
+		}
+	}
+	if d := r.Detection; d != nil {
+		s.Clusters = len(d.Clusters)
+		s.DuplicatePairs = len(d.Duplicates)
+		s.BorderlinePairs = len(d.Borderline)
+	}
+	return s
+}
+
 // Pipeline wires the components together. Zero-value hooks mean fully
 // automatic operation.
 type Pipeline struct {
@@ -177,7 +216,7 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 	// Apply the WHERE predicate to the merged table (before grouping,
 	// standard SQL ordering).
 	if opts.Where != nil {
-		filtered, err := engine.Materialize("merged",
+		filtered, err := engine.MaterializeContext(ctx, "merged",
 			engine.NewFilter(engine.NewScan(res.Merged), opts.Where))
 		if err != nil {
 			return nil, fmt.Errorf("core: WHERE: %w", err)
@@ -331,7 +370,7 @@ func (p *Pipeline) matchAndTransform(ctx context.Context, res *Result, opts Opti
 		}
 		transformed = append(transformed, aligned)
 
-		ref, err := outerUnion("reference", transformed)
+		ref, err := outerUnion(ctx, "reference", transformed)
 		if err != nil {
 			return err
 		}
@@ -347,7 +386,7 @@ func (p *Pipeline) matchAndTransform(ctx context.Context, res *Result, opts Opti
 		}
 		withSrc[i] = w
 	}
-	merged, err := outerUnion("merged", withSrc)
+	merged, err := outerUnion(ctx, "merged", withSrc)
 	if err != nil {
 		return err
 	}
@@ -411,7 +450,7 @@ func addSourceID(rel *relation.Relation) (*relation.Relation, error) {
 	return out, nil
 }
 
-func outerUnion(name string, rels []*relation.Relation) (*relation.Relation, error) {
+func outerUnion(ctx context.Context, name string, rels []*relation.Relation) (*relation.Relation, error) {
 	ops := make([]engine.Operator, len(rels))
 	for i, r := range rels {
 		ops[i] = engine.NewScan(r)
@@ -420,7 +459,7 @@ func outerUnion(name string, rels []*relation.Relation) (*relation.Relation, err
 	if err != nil {
 		return nil, err
 	}
-	return engine.Materialize(name, u)
+	return engine.MaterializeContext(ctx, name, u)
 }
 
 // mergeAttrs unions two attribute lists preserving order.

@@ -10,6 +10,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"hummer/internal/expr"
@@ -32,13 +33,38 @@ type Operator interface {
 	Next() (relation.Row, bool)
 }
 
-// Materialize drains op into a named relation.
+// Materialize drains op into a named relation. It is
+// MaterializeContext with a background context: it cannot be
+// cancelled.
 func Materialize(name string, op Operator) (*relation.Relation, error) {
+	return MaterializeContext(context.Background(), name, op)
+}
+
+// materializeStride is how many rows MaterializeContext drains between
+// context polls: frequent enough that a cancelled plain-SQL statement
+// aborts mid-scan (not only at entry), rare enough that the poll is
+// invisible next to the per-row work.
+const materializeStride = 256
+
+// MaterializeContext drains op into a named relation, checking ctx
+// every few hundred rows so a cancelled or timed-out statement stops
+// scanning promptly with ctx's error and no partial result. Blocking
+// operators (sort, hash build, cross materialization) do their work
+// inside Open/Next, so the poll also covers rows they buffer.
+func MaterializeContext(ctx context.Context, name string, op Operator) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	out := relation.New(name, op.Schema())
-	for {
+	for n := 0; ; n++ {
+		if n%materializeStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row, ok := op.Next()
 		if !ok {
 			break

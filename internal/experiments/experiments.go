@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -855,6 +856,106 @@ func E14(seed int64, entities, warmQueries, clients int) *Report {
 	return rep
 }
 
+// E15 compares the materialized query path (DB.Query: the complete
+// result relation is built before the caller sees a row) against the
+// streaming path (DB.QueryRows: rows leave the engine in chunks) on a
+// large plain-SELECT result: wall-clock total, time to first row, and
+// bytes allocated per drain. The streamed drain holds at most one
+// chunk at a time, so its allocation volume stays flat where the
+// materialized path grows with the result — the number that matters
+// once results stop fitting comfortably in one response buffer.
+func E15(seed int64, sizes []int) *Report {
+	rep := &Report{
+		ID:     "E15",
+		Title:  "streamed vs materialized large-result drain (plain SELECT)",
+		Header: []string{"rows", "mode", "total", "first row", "alloc MB", "rows/s", "identical"},
+		Notes:  "alloc MB = TotalAlloc delta over one drain after GC; streamed holds one 64-row chunk at a time",
+	}
+	for _, n := range sizes {
+		ents := datagen.Persons.Generate(seed, n/2)
+		obs := datagen.DirtyTable(datagen.Persons, ents, 2, datagen.SourceSpec{
+			Alias: "big", TypoRate: 0.1, NullRate: 0.05, Seed: seed + 15,
+		})
+		db := hummer.New()
+		if err := db.RegisterTable("big", obs.Rel); err != nil {
+			rep.Notes = "setup error: " + err.Error()
+			return rep
+		}
+		const query = `SELECT * FROM big`
+
+		measure := func(run func() (rows int, firstRow int64, err error)) (rows int, total, firstRow int64, allocMB float64, err error) {
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 := nowMono()
+			rows, firstRow, err = run()
+			total = nowMono() - t0
+			runtime.ReadMemStats(&m1)
+			allocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / 1e6
+			return
+		}
+
+		matRows, matTotal, matFirst, matAlloc, err := measure(func() (int, int64, error) {
+			t0 := nowMono()
+			res, err := db.Query(query)
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.Rel.Len(), nowMono() - t0, nil
+		})
+		if err != nil {
+			rep.Notes = "materialized error: " + err.Error()
+			return rep
+		}
+
+		strRows, strTotal, strFirst, strAlloc, err := measure(func() (int, int64, error) {
+			t0 := nowMono()
+			rows, err := db.QueryRows(context.Background(), query)
+			if err != nil {
+				return 0, 0, err
+			}
+			defer rows.Close()
+			count, first := 0, int64(0)
+			for rows.Next() {
+				if count == 0 {
+					first = nowMono() - t0
+				}
+				count++
+			}
+			return count, first, rows.Err()
+		})
+		if err != nil {
+			rep.Notes = "streamed error: " + err.Error()
+			return rep
+		}
+
+		identical := "yes"
+		if strRows != matRows {
+			identical = "NO"
+		}
+		addRow := func(mode string, rows int, total, first int64, allocMB float64) {
+			rps := "-"
+			if total > 0 {
+				rps = fmt.Sprintf("%.0f", float64(rows)/(float64(total)/1e9))
+			}
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprint(rows), mode, fmtDuration(total), fmtDuration(first),
+				f2(allocMB), rps, identical,
+			})
+			rep.Samples = append(rep.Samples, BenchSample{
+				Name: "e15/" + mode, Rows: rows, Workers: 1, Seconds: float64(total) / 1e9,
+			})
+		}
+		addRow("materialized", matRows, matTotal, matFirst, matAlloc)
+		addRow("streamed", strRows, strTotal, strFirst, strAlloc)
+	}
+	return rep
+}
+
+// e15QuickSizes: big enough that the allocation gap is unambiguous,
+// small enough for the default suite.
+var e15QuickSizes = []int{10000, 40000}
+
 // e12QuickSizes keeps the default suite (and its tests) fast; the full
 // {1k, 5k, 20k} scale-up is an explicit hummer-bench -sizes run.
 var e12QuickSizes = []int{400, 1200}
@@ -887,6 +988,7 @@ func All(seed int64) []*Report {
 		E12(seed, e12QuickSizes),
 		E13(seed, e13QuickSizes),
 		E14(seed, e14Entities, e14WarmQueries, e14Clients),
+		E15(seed, e15QuickSizes),
 	}
 }
 
@@ -917,6 +1019,8 @@ func ByID(id string, seed int64) *Report {
 		return E13(seed, e13QuickSizes)
 	case "e14":
 		return E14(seed, e14Entities, e14WarmQueries, e14Clients)
+	case "e15":
+		return E15(seed, e15QuickSizes)
 	default:
 		return nil
 	}
@@ -924,7 +1028,7 @@ func ByID(id string, seed int64) *Report {
 
 // IDs lists the experiment ids ByID accepts, in canonical run order.
 func IDs() []string {
-	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"}
+	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
 }
 
 func minInt(a, b int) int {

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"hummer/internal/core"
 	"hummer/internal/dumas"
@@ -38,10 +39,53 @@ type QueryResult struct {
 	Rel *relation.Relation
 	// Lineage carries per-cell provenance for fusion queries (aligned
 	// with Rel before post-processing may reorder rows); nil for
-	// plain SQL. Lineage follows Rel's row order.
+	// plain SQL. Lineage follows Rel's row order. Omitted when the
+	// query opted out (ExecOptions.NoLineage).
 	Lineage [][]lineage.Set
 	// Pipeline exposes the intermediate phases for fusion queries.
+	// Guaranteed non-nil (for fusion statements) only when the query
+	// opted in with ExecOptions.Trace: results served from the fused
+	// cache tier are slim — they carry no intermediates — and NoTrace
+	// drops the intermediates even from a computed run. A zero-option
+	// cold run still populates it, as it always has.
 	Pipeline *core.Result
+	// Summary condenses what the pipeline did for fusion queries —
+	// always present for them, even on slim cache hits; nil for plain
+	// SQL. It is the cheap substitute for Pipeline when only the
+	// numbers are needed.
+	Summary *core.Summary
+}
+
+// ExecOptions are the per-query execution options — the plan-layer
+// form of the public API's QueryOption list. The zero value preserves
+// the historical behaviour exactly.
+type ExecOptions struct {
+	// Trace requests the pipeline intermediates: the result's Pipeline
+	// is guaranteed for fusion statements. A tracing query bypasses
+	// the fused cache tier (slim entries cannot satisfy it) — it
+	// neither reads nor writes that tier, though the per-phase
+	// match/detect tiers still apply.
+	Trace bool
+	// NoTrace drops the pipeline intermediates from the result even
+	// when a cache-missing run computed them, so large intermediates
+	// are never retained for callers that only need the table.
+	// Ignored when Trace is set.
+	NoTrace bool
+	// NoLineage drops the per-cell lineage from the result.
+	NoLineage bool
+	// Timeout, when positive, bounds the query's execution with its
+	// own deadline layered over the caller's context — the per-
+	// statement deadline of batch execution.
+	Timeout time.Duration
+	// OnFinish, when set on a streaming execution (StreamContext), is
+	// invoked exactly once from the producer goroutine when the
+	// stream's outcome is final: the fusion summary (nil for plain
+	// SQL or failed pipelines) and the terminal error (nil for a
+	// complete drain and for a deliberate early Close). The DB layer
+	// hooks its query/error counters here, since a stream's errors
+	// surface long after the QueryRows call returned. Ignored by the
+	// materialized paths.
+	OnFinish func(summary *core.Summary, err error)
 }
 
 // Executor runs statements against a metadata repository.
@@ -85,9 +129,31 @@ func (e *Executor) Query(q string) (*QueryResult, error) {
 // every pipeline phase. With a Cache installed the parse result is
 // cached by query text (statements small enough to be worth
 // retaining); each execution receives its own clone, since binding
-// mutates the expression trees.
+// mutates the expression trees. It is QueryWith with zero options.
 func (e *Executor) QueryContext(ctx context.Context, q string) (*QueryResult, error) {
-	var stmt *sql.Stmt
+	return e.QueryWith(ctx, q, ExecOptions{})
+}
+
+// QueryWith is QueryContext with per-query execution options: trace
+// and lineage projection, and an optional per-statement deadline.
+func (e *Executor) QueryWith(ctx context.Context, q string, opt ExecOptions) (*QueryResult, error) {
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	stmt, err := e.parse(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return e.executeStmt(ctx, stmt, q, opt)
+}
+
+// parse returns the parsed statement, consulting the plan cache when
+// one is installed (statements small enough to be worth retaining);
+// each execution receives its own clone, since binding mutates the
+// expression trees.
+func (e *Executor) parse(ctx context.Context, q string) (*sql.Stmt, error) {
 	if e.Cache != nil && len(q) <= maxCachedPlanBytes {
 		// Parsing is fast and never blocks, so the compute ignores ctx;
 		// DoContext still lets a cancelled caller stop waiting on a
@@ -96,15 +162,9 @@ func (e *Executor) QueryContext(ctx context.Context, q string) (*QueryResult, er
 		if err != nil {
 			return nil, err
 		}
-		stmt = v.(*sql.Stmt).Clone()
-	} else {
-		var err error
-		stmt, err = sql.Parse(q)
-		if err != nil {
-			return nil, err
-		}
+		return v.(*sql.Stmt).Clone(), nil
 	}
-	return e.executeStmt(ctx, stmt, q)
+	return sql.Parse(q)
 }
 
 // Execute runs a parsed statement. It is ExecuteContext with a
@@ -120,13 +180,13 @@ func (e *Executor) Execute(stmt *sql.Stmt) (*QueryResult, error) {
 // source text) bypass the fused-result cache tier, whose keys are
 // raw statement text.
 func (e *Executor) ExecuteContext(ctx context.Context, stmt *sql.Stmt) (*QueryResult, error) {
-	return e.executeStmt(ctx, stmt, "")
+	return e.executeStmt(ctx, stmt, "", ExecOptions{})
 }
 
 // executeStmt dispatches a parsed statement; raw is the statement's
 // source text when known ("" otherwise), the fused tier's key
 // component.
-func (e *Executor) executeStmt(ctx context.Context, stmt *sql.Stmt, raw string) (*QueryResult, error) {
+func (e *Executor) executeStmt(ctx context.Context, stmt *sql.Stmt, raw string, opt ExecOptions) (*QueryResult, error) {
 	if e.Repo == nil {
 		return nil, fmt.Errorf("plan: executor has no repository")
 	}
@@ -134,14 +194,14 @@ func (e *Executor) executeStmt(ctx context.Context, stmt *sql.Stmt, raw string) 
 		return nil, err
 	}
 	if stmt.IsFusion() {
-		return e.executeFusion(ctx, stmt, raw)
+		return e.executeFusion(ctx, stmt, raw, opt)
 	}
-	return e.executePlain(stmt)
+	return e.executePlain(ctx, stmt)
 }
 
 // --- Fusion statements ------------------------------------------------------
 
-func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string) (*QueryResult, error) {
+func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string, opt ExecOptions) (*QueryResult, error) {
 	if len(stmt.Joins) > 0 {
 		return nil, fmt.Errorf("plan: JOIN is not supported in FUSE statements; use FUSE FROM")
 	}
@@ -189,26 +249,38 @@ func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string
 	// With only the * wildcard, Items stays empty: all data columns
 	// with the default resolution.
 
-	// The fused-result cache tier: the complete post-processed result,
-	// keyed by the raw statement text, the source fingerprints in
-	// query order and the configuration fingerprint. A warm query
-	// skips matching, detection, merging and fusion entirely. The raw
-	// text is the key — not Stmt.String(), whose rendering is not
-	// injective (a quoted alias containing ", " renders exactly like
-	// two bare items), and two different statements must never share a
-	// fused entry. Statements without source text (direct Execute) and
-	// oversized texts bypass the tier, as do wizard hooks, which can
-	// rewrite any intermediate non-deterministically (the per-artifact
-	// tiers below still apply). Fingerprinting can fail on an unknown
-	// alias — fall through then, so the pipeline reports the real
-	// error.
-	if e.Cache != nil && raw != "" && len(raw) <= maxCachedPlanBytes && !pipelineHooked(p) {
+	// The fused-result cache tier: the post-processed result, keyed by
+	// the raw statement text, the source fingerprints in query order
+	// and the configuration fingerprint. A warm query skips matching,
+	// detection, merging and fusion entirely. The raw text is the key
+	// — not Stmt.String(), whose rendering is not injective (a quoted
+	// alias containing ", " renders exactly like two bare items), and
+	// two different statements must never share a fused entry. Entries
+	// are SLIM: final table, lineage and the precomputed summary, no
+	// pipeline intermediates — trace is opt-in per query, and a
+	// tracing query (ExecOptions.Trace) bypasses the tier entirely so
+	// a slim entry is never asked to satisfy it. Statements without
+	// source text (direct Execute) and oversized texts also bypass the
+	// tier, as do wizard hooks, which can rewrite any intermediate
+	// non-deterministically (the per-artifact tiers below still
+	// apply). Fingerprinting can fail on an unknown alias — fall
+	// through then, so the pipeline reports the real error.
+	if e.Cache != nil && raw != "" && len(raw) <= maxCachedPlanBytes && !opt.Trace && !pipelineHooked(p) {
 		if key, gens, err := e.fusedKey(raw, aliases, p); err == nil {
+			// full is set only when this caller led the computation: the
+			// compute closure runs in the leader's own goroutine, so the
+			// capture is race-free. The leader keeps the intermediates —
+			// a zero-option cold run exposes Pipeline as it always has —
+			// while only the slim entry is published to the cache and to
+			// piggybacking waiters.
+			var full *QueryResult
 			v, _, err := e.Cache.DoContext(ctx, key, func(ctx context.Context) (any, error) {
 				res, err := e.runFusion(ctx, p, stmt, aliases, opts)
 				if err != nil {
 					return nil, err
 				}
+				full = res
+				slim := &QueryResult{Rel: res.Rel, Lineage: res.Lineage, Summary: res.Summary}
 				// The key was fingerprinted before the pipeline loaded
 				// the sources. If a concurrent Replace landed in
 				// between, the pipeline computed over newer data than
@@ -219,19 +291,22 @@ func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string
 				// still reaches the leader and every waiter.
 				for i, a := range aliases {
 					if e.Repo.Generation(a) != gens[i] {
-						return res, errFusedStale
+						return slim, errFusedStale
 					}
 				}
-				return res, nil
+				return slim, nil
 			})
 			if err == nil || errors.Is(err, errFusedStale) {
 				// Cached results are shared across queries: callers
-				// must treat Rel, Lineage and Pipeline as read-only.
-				// On the stale-race sentinel the result is correct for
-				// the data the pipeline saw — serve it; it just never
+				// must treat Rel and Lineage as read-only. On the
+				// stale-race sentinel the result is correct for the
+				// data the pipeline saw — serve it; it just never
 				// entered the cache.
+				if full != nil {
+					return trimResult(full, opt), nil
+				}
 				if qr, ok := v.(*QueryResult); ok && qr != nil {
-					return qr, nil
+					return trimResult(qr, opt), nil
 				}
 			}
 			if err != nil && !errors.Is(err, errFusedStale) {
@@ -241,7 +316,30 @@ func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string
 			// produced today) falls through to an uncached run.
 		}
 	}
-	return e.runFusion(ctx, p, stmt, aliases, opts)
+	res, err := e.runFusion(ctx, p, stmt, aliases, opts)
+	if err != nil {
+		return nil, err
+	}
+	return trimResult(res, opt), nil
+}
+
+// trimResult applies the per-query projection options to a computed or
+// cached result. Shared cache entries are never mutated: trimming
+// copies the head.
+func trimResult(res *QueryResult, opt ExecOptions) *QueryResult {
+	dropTrace := opt.NoTrace && !opt.Trace && res.Pipeline != nil
+	dropLin := opt.NoLineage && res.Lineage != nil
+	if !dropTrace && !dropLin {
+		return res
+	}
+	out := *res
+	if dropTrace {
+		out.Pipeline = nil
+	}
+	if dropLin {
+		out.Lineage = nil
+	}
+	return &out
 }
 
 // errFusedStale marks a fused computation whose sources were replaced
@@ -262,7 +360,7 @@ func (e *Executor) runFusion(ctx context.Context, p *core.Pipeline, stmt *sql.St
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResult{Rel: out, Lineage: lin, Pipeline: res}, nil
+	return &QueryResult{Rel: out, Lineage: lin, Pipeline: res, Summary: res.Summary()}, nil
 }
 
 // fusedKey builds the fused-tier cache key for one fusion statement:
@@ -378,7 +476,24 @@ func stableSortTagged[T any](rows []T, cmp func(a, b T) int) {
 
 // --- Plain SQL ---------------------------------------------------------------
 
-func (e *Executor) executePlain(stmt *sql.Stmt) (*QueryResult, error) {
+// executePlain materializes a plain statement's operator tree,
+// checking ctx at row strides so a cancelled statement stops
+// mid-scan, not only at entry.
+func (e *Executor) executePlain(ctx context.Context, stmt *sql.Stmt) (*QueryResult, error) {
+	op, err := e.buildPlain(stmt)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := engine.MaterializeContext(ctx, "result", op)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Rel: rel}, nil
+}
+
+// buildPlain turns a plain SELECT statement into its (unopened)
+// operator tree — shared by the materializing and streaming paths.
+func (e *Executor) buildPlain(stmt *sql.Stmt) (engine.Operator, error) {
 	var op engine.Operator
 	for i, t := range stmt.Tables {
 		rel, err := e.Repo.Get(t.Name)
@@ -451,11 +566,7 @@ func (e *Executor) executePlain(stmt *sql.Stmt) (*QueryResult, error) {
 	if stmt.Limit >= 0 {
 		op = engine.NewLimit(op, stmt.Limit)
 	}
-	rel, err := engine.Materialize("result", op)
-	if err != nil {
-		return nil, err
-	}
-	return &QueryResult{Rel: rel}, nil
+	return op, nil
 }
 
 func buildProject(op engine.Operator, stmt *sql.Stmt) (engine.Operator, error) {

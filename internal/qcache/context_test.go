@@ -124,26 +124,27 @@ func TestDoContextLeaderCancelReelects(t *testing.T) {
 	}
 }
 
-// TestFusedKindTighterCap: the fused kind evicts at a quarter of the
-// per-kind budget — its entries pin whole result tables — while other
-// kinds keep the full cap.
-func TestFusedKindTighterCap(t *testing.T) {
-	c := New(8) // fused budget: 8/4 = 2
+// TestFusedKindFullCap: since fused entries went slim (no pipeline
+// intermediates — trace queries bypass the tier), the fused kind runs
+// on the full per-kind budget like every other kind; the old
+// quarter-budget workaround is retired.
+func TestFusedKindFullCap(t *testing.T) {
+	c := New(4)
 	put := func(k Key, v string) {
 		if _, _, err := c.DoContext(context.Background(), k, func(context.Context) (any, error) { return v, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 6; i++ {
 		put(FusedKey(fmt.Sprintf("q%d", i), []string{"s"}, "cfg"), "r")
 		put(PlanKey(fmt.Sprintf("q%d", i)), "p")
 	}
 	st := c.Stats()
 	if ev := st.Kinds[KindFused].Evictions; ev != 2 {
-		t.Errorf("fused evictions = %d, want 2 (cap 8/4)", ev)
+		t.Errorf("fused evictions = %d, want 2 (full cap of 4 over 6 inserts)", ev)
 	}
-	if ev := st.Kinds[KindPlan].Evictions; ev != 0 {
-		t.Errorf("plan evictions = %d, want 0 (full cap)", ev)
+	if ev := st.Kinds[KindPlan].Evictions; ev != 2 {
+		t.Errorf("plan evictions = %d, want 2 (same budget)", ev)
 	}
 }
 

@@ -62,12 +62,13 @@ const (
 	// KindDetect is a duplicate-detection result, keyed by the merged
 	// relation's fingerprint and the detection configuration.
 	KindDetect Kind = "detect"
-	// KindFused is a complete fused query result — the final table plus
-	// lineage — keyed by the raw statement text, the source
-	// fingerprints in query order, and the configuration fingerprint
-	// (match + detect knobs and the resolution-registry version). A
-	// hit on this tier skips matching, detection, merging and fusion
-	// entirely.
+	// KindFused is a fused query result in slim form — the final
+	// table, its lineage and the precomputed pipeline summary, no
+	// intermediates (trace queries bypass this tier) — keyed by the
+	// raw statement text, the source fingerprints in query order, and
+	// the configuration fingerprint (match + detect knobs and the
+	// resolution-registry version). A hit on this tier skips matching,
+	// detection, merging and fusion entirely.
 	KindFused Kind = "fused"
 )
 
@@ -83,15 +84,6 @@ type Key struct {
 // resident. Each artifact kind owns its own budget, so cheap plans
 // never evict expensive match/detect results.
 const DefaultCapacity = 256
-
-// fusedCapacityDivisor shrinks the fused kind's budget relative to
-// the per-kind cap: a fused entry pins a complete query result —
-// fused table, lineage and the pipeline intermediates the API exposes
-// (merged relation, detection) — so it is the heaviest artifact by
-// far, and a quarter of the budget keeps the warm working set while
-// bounding the pinned tables. (Match/detect artifacts referenced by a
-// fused entry are shared pointers with their own tiers, not copies.)
-const fusedCapacityDivisor = 4
 
 // KindStats counts one kind's cache traffic.
 type KindStats struct {
@@ -110,12 +102,11 @@ type KindStats struct {
 type Stats struct {
 	// Entries is the number of resident artifacts.
 	Entries int `json:"entries"`
-	// Capacity is the per-kind entry cap.
+	// Capacity is the per-kind entry cap. Every kind — including
+	// fused results, which are slim since trace became opt-in (final
+	// table + lineage + summary, no pipeline intermediates) — runs on
+	// the full budget.
 	Capacity int `json:"capacity"`
-	// FusedCapacity is the fused kind's (smaller) entry cap — its
-	// entries pin whole result tables, so it runs on a fraction of
-	// Capacity (see fusedCapacityDivisor).
-	FusedCapacity int `json:"fused_capacity"`
 	// Waiters is the number of callers currently blocked on in-flight
 	// computations (a gauge, unlike the per-kind counters).
 	Waiters int `json:"waiters"`
@@ -345,19 +336,6 @@ func (c *Cache) Get(key Key) (any, bool) {
 	return e.val, true
 }
 
-// capFor returns one kind's entry budget: the configured cap, except
-// the fused kind, whose entries are far heavier (see
-// fusedCapacityDivisor).
-func (c *Cache) capFor(kind Kind) int {
-	if kind != KindFused {
-		return c.cap
-	}
-	if n := c.cap / fusedCapacityDivisor; n > 0 {
-		return n
-	}
-	return 1
-}
-
 // evictLocked drops least-recently-used completed entries of the
 // just-inserted kind until that kind fits its cap. Eviction is
 // per-kind so a flood of cheap artifacts (256 distinct statements
@@ -365,7 +343,7 @@ func (c *Cache) capFor(kind Kind) int {
 // match costs seconds) — each kind owns its own budget. In-flight
 // entries are never evicted (their callers hold references).
 func (c *Cache) evictLocked(kind Kind) {
-	cap := c.capFor(kind)
+	cap := c.cap
 	for {
 		count := 0
 		var victim *entry
@@ -421,11 +399,10 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := Stats{
-		Entries:       len(c.entries),
-		Capacity:      c.cap,
-		FusedCapacity: c.capFor(KindFused),
-		Waiters:       c.waiters,
-		Kinds:         make(map[Kind]KindStats, len(c.stats)),
+		Entries:  len(c.entries),
+		Capacity: c.cap,
+		Waiters:  c.waiters,
+		Kinds:    make(map[Kind]KindStats, len(c.stats)),
 	}
 	for k, ks := range c.stats {
 		out.Kinds[k] = *ks

@@ -14,6 +14,8 @@
 //	POST   /v1/sources           register (or replace) a source
 //	GET    /v1/sources/{alias}   schema + rows of one source
 //	POST   /v1/query             execute a statement
+//	POST   /v1/query/stream      execute a statement, stream NDJSON rows
+//	POST   /v1/batch             execute several statements, one result each
 //	GET    /v1/functions         resolution-function names
 //	DELETE /v1/cache             purge the artifact cache
 //
@@ -90,6 +92,13 @@ type Server struct {
 	queryCount   atomic.Uint64
 	queryErrors  atomic.Uint64
 	queryNanos   atomic.Uint64
+
+	// Streaming and batch traffic (exposed alongside the above).
+	streamedQueries atomic.Uint64
+	streamedRows    atomic.Uint64
+	batchRequests   atomic.Uint64
+	batchStatements atomic.Uint64
+	batchErrors     atomic.Uint64
 }
 
 // Option configures a Server.
@@ -140,6 +149,8 @@ func New(db *hummer.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/sources", s.handleRegisterSource)
 	s.mux.HandleFunc("GET /v1/sources/{alias}", s.handleGetSource)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/functions", s.handleFunctions)
 	s.mux.HandleFunc("DELETE /v1/cache", s.handlePurgeCache)
 	return s
@@ -216,6 +227,16 @@ type statsResponse struct {
 	// RejectedQueries counts 429s from the inflight cap.
 	InflightQueries int64  `json:"inflight_queries"`
 	RejectedQueries uint64 `json:"rejected_queries"`
+	// StreamedQueries counts /v1/query/stream statements that began
+	// streaming; StreamedRows the NDJSON row records they emitted.
+	StreamedQueries uint64 `json:"streamed_queries"`
+	StreamedRows    uint64 `json:"streamed_rows"`
+	// BatchRequests counts /v1/batch calls; BatchStatements the
+	// statements they carried; BatchStatementErrors the statements
+	// that failed (each statement fails independently).
+	BatchRequests        uint64 `json:"batch_requests"`
+	BatchStatements      uint64 `json:"batch_statements"`
+	BatchStatementErrors uint64 `json:"batch_statement_errors"`
 	// ClientDisconnects counts queries cancelled because the client
 	// hung up (499); QueryTimeouts counts queries aborted by the
 	// query timeout (504); BodyReadTimeouts counts requests whose
@@ -224,22 +245,28 @@ type statsResponse struct {
 	QueryTimeouts     uint64 `json:"query_timeouts"`
 	BodyReadTimeouts  uint64 `json:"body_read_timeouts"`
 	// QuerySeconds is the total wall-clock time spent executing
-	// queries (sum over all /v1/query calls, including failed ones).
+	// statements (sum over /v1/query, /v1/query/stream and /v1/batch
+	// statements, including failed ones).
 	QuerySeconds float64      `json:"query_seconds"`
 	DB           hummer.Stats `json:"db"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds:     time.Since(s.start).Seconds(),
-		Requests:          s.requests.Load(),
-		InflightQueries:   s.inflight.Load(),
-		RejectedQueries:   s.rejected.Load(),
-		ClientDisconnects: s.clientGone.Load(),
-		QueryTimeouts:     s.timeouts.Load(),
-		BodyReadTimeouts:  s.bodyTimeouts.Load(),
-		QuerySeconds:      float64(s.queryNanos.Load()) / float64(time.Second),
-		DB:                s.db.Stats(),
+		UptimeSeconds:        time.Since(s.start).Seconds(),
+		Requests:             s.requests.Load(),
+		InflightQueries:      s.inflight.Load(),
+		RejectedQueries:      s.rejected.Load(),
+		StreamedQueries:      s.streamedQueries.Load(),
+		StreamedRows:         s.streamedRows.Load(),
+		BatchRequests:        s.batchRequests.Load(),
+		BatchStatements:      s.batchStatements.Load(),
+		BatchStatementErrors: s.batchErrors.Load(),
+		ClientDisconnects:    s.clientGone.Load(),
+		QueryTimeouts:        s.timeouts.Load(),
+		BodyReadTimeouts:     s.bodyTimeouts.Load(),
+		QuerySeconds:         float64(s.queryNanos.Load()) / float64(time.Second),
+		DB:                   s.db.Stats(),
 	})
 }
 
@@ -402,17 +429,6 @@ type queryRequest struct {
 	Lineage bool `json:"lineage,omitempty"`
 }
 
-// fusionSummary surfaces what the pipeline did — the wizard
-// visualization's numbers, without the tables.
-type fusionSummary struct {
-	Sources         int `json:"sources"`
-	MergedRows      int `json:"merged_rows"`
-	Correspondences int `json:"correspondences"`
-	Clusters        int `json:"clusters"`
-	DuplicatePairs  int `json:"duplicate_pairs"`
-	BorderlinePairs int `json:"borderline_pairs"`
-}
-
 // cellLineage is one cell's provenance: the contributing source rows.
 type cellLineage struct {
 	Column  string   `json:"column"`
@@ -420,27 +436,85 @@ type cellLineage struct {
 }
 
 type queryResponse struct {
-	Columns  []string        `json:"columns"`
-	Rows     [][]any         `json:"rows"`
-	RowCount int             `json:"row_count"`
-	Fusion   *fusionSummary  `json:"fusion,omitempty"`
-	Lineage  [][]cellLineage `json:"lineage,omitempty"`
+	Columns  []string `json:"columns"`
+	Rows     [][]any  `json:"rows"`
+	RowCount int      `json:"row_count"`
+	// Fusion carries the pipeline summary for fusion statements —
+	// warm cache hits included (slim entries precompute it). Omitted
+	// for plain SELECTs: the wire format matches the opt-in
+	// semantics, annotation-style metadata never pads a plain read.
+	Fusion *hummer.FusionSummary `json:"fusion,omitempty"`
+	// Lineage is present only when requested AND the statement
+	// produced lineage (fusion statements with at least one row).
+	Lineage [][]cellLineage `json:"lineage,omitempty"`
 }
 
 // errHandled marks a request whose response was already written by a
 // helper (decode failure, validation error) — the caller just returns.
 var errHandled = errors.New("server: response already written")
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	// Bounded admission first — before the (up to maxBodyBytes) body
-	// is even read: the cap exists to shed work under overload, so an
-	// over-limit request must not cost a 16MB decode on its way to
-	// the 429.
+// admit takes an inflight-admission slot, writing the 429 and
+// returning false when the server is at its cap. The caller must
+// release the slot with s.inflight.Add(-1). Admission runs before the
+// (up to maxBodyBytes) body is even read: the cap exists to shed work
+// under overload, so an over-limit request must not cost a 16MB
+// decode on its way to the 429.
+func (s *Server) admit(w http.ResponseWriter) bool {
 	if n := s.inflight.Add(1); s.maxInflight > 0 && n > s.maxInflight {
 		s.inflight.Add(-1)
 		s.rejected.Add(1)
 		writeError(w, http.StatusTooManyRequests,
 			"server is at its inflight query limit (%d); retry later", s.maxInflight)
+		return false
+	}
+	return true
+}
+
+// slotContext budgets one admission slot: it bounds the request's
+// body read and returns a ctx carrying the same deadline for the
+// execution, so a slot is never held longer than the query timeout.
+// The returned release must be called exactly once; it clears the
+// read deadline and cancels the ctx.
+func (s *Server) slotContext(w http.ResponseWriter, r *http.Request) (context.Context, func()) {
+	ctx := r.Context()
+	if s.queryTimeout <= 0 {
+		return ctx, func() {}
+	}
+	deadline := time.Now().Add(s.queryTimeout)
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(deadline)
+	ctx, cancel := context.WithDeadline(ctx, deadline)
+	return ctx, func() {
+		_ = rc.SetReadDeadline(time.Time{})
+		cancel()
+	}
+}
+
+// classifyQueryError writes the error response for a failed query:
+// 499 when the client hung up, 504 on the query timeout, 400
+// otherwise. Counts accordingly.
+func (s *Server) classifyQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	s.queryErrors.Add(1)
+	canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	switch {
+	case canceled && r.Context().Err() != nil:
+		// The query actually died of cancellation AND the client
+		// hung up; it will likely never read this, but the status
+		// documents the outcome in logs and proxies. A genuine
+		// query error that merely races a disconnect keeps its own
+		// classification below.
+		s.clientGone.Add(1)
+		writeError(w, StatusClientClosedRequest, "client closed request: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "query exceeded the %s timeout", s.queryTimeout)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
 		return
 	}
 
@@ -451,20 +525,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	res, err := func() (*hummer.Result, error) {
 		defer s.inflight.Add(-1)
-		// One deadline budgets the whole slot-holding span: the body
-		// read (without a bound, a client trickling bytes could pin
-		// admission capacity for days) and the query execution share
-		// it, so a slot is never held longer than the query timeout.
-		ctx := r.Context()
-		if s.queryTimeout > 0 {
-			deadline := time.Now().Add(s.queryTimeout)
-			rc := http.NewResponseController(w)
-			_ = rc.SetReadDeadline(deadline)
-			defer func() { _ = rc.SetReadDeadline(time.Time{}) }()
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithDeadline(ctx, deadline)
-			defer cancel()
-		}
+		ctx, release := s.slotContext(w, r)
+		defer release()
 		if !s.decodeBody(w, r, &req) {
 			return nil, errHandled
 		}
@@ -475,9 +537,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 		// The query runs under the request context — a hung-up client
 		// cancels the pipeline mid-flight — bounded by the shared
-		// deadline above.
+		// deadline above. The server never needs the pipeline
+		// intermediates (the slim Summary feeds the fusion block) and
+		// skips the lineage copy when the client didn't ask.
 		start := time.Now()
-		res, err := s.db.QueryContext(ctx, req.SQL)
+		res, err := s.db.QueryContext(ctx, req.SQL,
+			hummer.WithoutTrace(), hummer.WithLineage(req.Lineage))
 		s.queryCount.Add(1)
 		s.queryNanos.Add(uint64(time.Since(start)))
 		return res, err
@@ -486,62 +551,281 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		s.queryErrors.Add(1)
-		canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-		switch {
-		case canceled && r.Context().Err() != nil:
-			// The query actually died of cancellation AND the client
-			// hung up; it will likely never read this, but the status
-			// documents the outcome in logs and proxies. A genuine
-			// query error that merely races a disconnect keeps its own
-			// classification below.
-			s.clientGone.Add(1)
-			writeError(w, StatusClientClosedRequest, "client closed request: %v", err)
-		case errors.Is(err, context.DeadlineExceeded):
-			s.timeouts.Add(1)
-			writeError(w, http.StatusGatewayTimeout, "query exceeded the %s timeout", s.queryTimeout)
-		default:
-			writeError(w, http.StatusBadRequest, "%v", err)
-		}
+		s.classifyQueryError(w, r, err)
 		return
 	}
 	resp := queryResponse{
 		Columns:  res.Rel.Schema().Names(),
 		Rows:     make([][]any, 0, res.Rel.Len()),
 		RowCount: res.Rel.Len(),
+		Fusion:   res.Summary,
 	}
 	for i := 0; i < res.Rel.Len(); i++ {
 		resp.Rows = append(resp.Rows, rowJSON(res.Rel.Row(i)))
 	}
-	if p := res.Pipeline; p != nil {
-		sum := &fusionSummary{Sources: len(p.Sources)}
-		if p.Merged != nil {
-			sum.MergedRows = p.Merged.Len()
-		}
-		for _, m := range p.Matches {
-			sum.Correspondences += len(m.Correspondences)
-		}
-		if p.Detection != nil {
-			sum.Clusters = len(p.Detection.Clusters)
-			sum.DuplicatePairs = len(p.Detection.Duplicates)
-			sum.BorderlinePairs = len(p.Detection.Borderline)
-		}
-		resp.Fusion = sum
-	}
-	if req.Lineage && res.Lineage != nil {
+	if req.Lineage && len(res.Lineage) > 0 {
 		cols := res.Rel.Schema().Names()
 		resp.Lineage = make([][]cellLineage, len(res.Lineage))
 		for i, rowLin := range res.Lineage {
-			cells := make([]cellLineage, 0, len(rowLin))
-			for j, set := range rowLin {
-				cl := cellLineage{Column: cols[j], Origins: []string{}}
-				for _, o := range set.Origins() {
-					cl.Origins = append(cl.Origins, fmt.Sprintf("%s:%d", o.Source, o.Row))
-				}
-				cells = append(cells, cl)
-			}
-			resp.Lineage[i] = cells
+			resp.Lineage[i] = lineageRowJSON(cols, rowLin)
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// lineageRowJSON renders one row's per-cell lineage.
+func lineageRowJSON(cols []string, rowLin []hummer.LineageSet) []cellLineage {
+	cells := make([]cellLineage, 0, len(rowLin))
+	for j, set := range rowLin {
+		cl := cellLineage{Column: cols[j], Origins: []string{}}
+		for _, o := range set.Origins() {
+			cl.Origins = append(cl.Origins, fmt.Sprintf("%s:%d", o.Source, o.Row))
+		}
+		cells = append(cells, cl)
+	}
+	return cells
+}
+
+// --- Streaming ---------------------------------------------------------------
+
+// streamFlushRows is how many NDJSON row records are written between
+// explicit flushes: one flush per record would defeat the chunked
+// producer; one per response would defeat streaming.
+const streamFlushRows = 64
+
+// streamRecord is one NDJSON line of a /v1/query/stream response. The
+// first record is the schema ("type":"schema"), then one record per
+// row, then exactly one trailer: a summary on success, an error if
+// the stream died mid-flight (after the 200 status was already
+// committed — clients must treat an error trailer, or a missing
+// trailer, as a failed stream).
+type streamRecord struct {
+	Type     string                `json:"type"`
+	Columns  []string              `json:"columns,omitempty"`
+	Row      []any                 `json:"row,omitempty"`
+	Lineage  []cellLineage         `json:"lineage,omitempty"`
+	RowCount *int                  `json:"row_count,omitempty"`
+	Fusion   *hummer.FusionSummary `json:"fusion,omitempty"`
+	Error    string                `json:"error,omitempty"`
+}
+
+// handleQueryStream executes one statement and streams the result as
+// NDJSON (application/x-ndjson): rows leave the server in chunks as
+// the engine produces them, so a large result never needs a second
+// materialized copy in the response path. Errors before the first
+// byte are ordinary JSON error responses (same classification as
+// /v1/query); later failures arrive in-band as the trailer record.
+// The admission slot is held for the whole stream — the query
+// executes as the response is written.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	defer s.inflight.Add(-1)
+	ctx, release := s.slotContext(w, r)
+	defer release()
+
+	var req queryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+
+	start := time.Now()
+	rows, err := s.db.QueryRows(ctx, req.SQL,
+		hummer.WithoutTrace(), hummer.WithLineage(req.Lineage))
+	var cols []string
+	if err == nil {
+		defer rows.Close()
+		// Columns blocks until the statement has executed far enough
+		// to stream (for fusion: until the pipeline ran), so statement
+		// errors are still classifiable as a clean non-200 here.
+		cols, err = rows.Columns()
+	}
+	if err != nil {
+		s.queryCount.Add(1)
+		s.queryNanos.Add(uint64(time.Since(start)))
+		s.classifyQueryError(w, r, err)
+		return
+	}
+	s.queryCount.Add(1)
+	s.streamedQueries.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	writeErr := enc.Encode(streamRecord{Type: "schema", Columns: cols})
+	flush()
+	n := 0
+	for writeErr == nil && rows.Next() {
+		rec := streamRecord{Type: "row", Row: rowJSON(rows.Row())}
+		if lin := rows.RowLineage(); req.Lineage && lin != nil {
+			rec.Lineage = lineageRowJSON(cols, lin)
+		}
+		if writeErr = enc.Encode(rec); writeErr != nil {
+			break // client gone: stop pulling, Close joins the producer
+		}
+		if n++; n%streamFlushRows == 0 {
+			flush()
+		}
+	}
+	s.streamedRows.Add(uint64(n))
+	s.queryNanos.Add(uint64(time.Since(start)))
+	switch {
+	case writeErr != nil:
+		// The transport died mid-stream; nothing more can reach the
+		// client. Count it like a disconnect of a materialized query.
+		s.queryErrors.Add(1)
+		s.clientGone.Add(1)
+	case rows.Err() != nil:
+		err := rows.Err()
+		s.queryErrors.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+		} else if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+			s.clientGone.Add(1)
+		}
+		_ = enc.Encode(streamRecord{Type: "error", Error: err.Error()})
+	default:
+		count := n
+		_ = enc.Encode(streamRecord{Type: "summary", RowCount: &count, Fusion: rows.Summary()})
+	}
+	flush()
+}
+
+// --- Batch -------------------------------------------------------------------
+
+// maxBatchStatements bounds one /v1/batch request: each statement can
+// cost a full query timeout, and the admission slot is held for the
+// whole batch.
+const maxBatchStatements = 64
+
+type batchRequest struct {
+	Statements []string `json:"statements"`
+	// Lineage adds per-cell provenance to fusion statements' results.
+	Lineage bool `json:"lineage,omitempty"`
+	// TimeoutMillis bounds each statement individually; it can only
+	// tighten the server's query timeout, never extend it.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// batchStatementResponse is one statement's outcome. Error and the
+// result fields are mutually exclusive.
+type batchStatementResponse struct {
+	Columns  []string              `json:"columns,omitempty"`
+	Rows     [][]any               `json:"rows,omitempty"`
+	RowCount int                   `json:"row_count"`
+	Fusion   *hummer.FusionSummary `json:"fusion,omitempty"`
+	Lineage  [][]cellLineage       `json:"lineage,omitempty"`
+	Error    string                `json:"error,omitempty"`
+	Seconds  float64               `json:"seconds"`
+}
+
+type batchResponse struct {
+	Results []batchStatementResponse `json:"results"`
+}
+
+// handleBatch executes several statements in order, each under its
+// own deadline (the server query timeout, optionally tightened by the
+// request's timeout_ms), and returns one result or error per
+// statement — a slow or failing statement never takes down its
+// neighbours, only cancelling the whole request does. The response is
+// always 200 when the batch itself was well-formed; per-statement
+// failures live in the results.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+
+	var resp batchResponse
+	err := func() error {
+		defer s.inflight.Add(-1)
+		// Unlike /v1/query, the slot deadline bounds only the body
+		// read here; each statement then runs under its own deadline
+		// over the request's context. The deadline (and the
+		// connection read deadline it arms) is released immediately
+		// after the decode: net/http keeps a background read open
+		// during the handler, and an armed read deadline outliving
+		// one queryTimeout would fail that read and cancel the
+		// request context mid-batch — aborting statements that were
+		// well inside their own budgets.
+		ctx, release := s.slotContext(w, r)
+		_ = ctx
+		var req batchRequest
+		ok := s.decodeBody(w, r, &req)
+		release()
+		if !ok {
+			return errHandled
+		}
+		if len(req.Statements) == 0 {
+			writeError(w, http.StatusBadRequest, "statements are required")
+			return errHandled
+		}
+		if len(req.Statements) > maxBatchStatements {
+			writeError(w, http.StatusBadRequest,
+				"batch carries %d statements, limit %d", len(req.Statements), maxBatchStatements)
+			return errHandled
+		}
+		for i, q := range req.Statements {
+			if strings.TrimSpace(q) == "" {
+				writeError(w, http.StatusBadRequest, "statement %d is empty", i)
+				return errHandled
+			}
+		}
+
+		perStmt := s.queryTimeout
+		if d := time.Duration(req.TimeoutMillis) * time.Millisecond; d > 0 && (perStmt <= 0 || d < perStmt) {
+			perStmt = d
+		}
+		opts := []hummer.QueryOption{hummer.WithoutTrace(), hummer.WithLineage(req.Lineage)}
+		if perStmt > 0 {
+			opts = append(opts, hummer.WithTimeout(perStmt))
+		}
+
+		s.batchRequests.Add(1)
+		results := s.db.QueryBatch(r.Context(), req.Statements, opts...)
+		resp.Results = make([]batchStatementResponse, len(results))
+		for i, br := range results {
+			s.batchStatements.Add(1)
+			s.queryCount.Add(1)
+			s.queryNanos.Add(uint64(br.Elapsed))
+			item := &resp.Results[i]
+			item.Seconds = br.Elapsed.Seconds()
+			if br.Err != nil {
+				s.batchErrors.Add(1)
+				item.Error = br.Err.Error()
+				continue
+			}
+			res := br.Result
+			item.Columns = res.Rel.Schema().Names()
+			item.Rows = make([][]any, 0, res.Rel.Len())
+			item.RowCount = res.Rel.Len()
+			item.Fusion = res.Summary
+			for j := 0; j < res.Rel.Len(); j++ {
+				item.Rows = append(item.Rows, rowJSON(res.Rel.Row(j)))
+			}
+			if req.Lineage && len(res.Lineage) > 0 {
+				item.Lineage = make([][]cellLineage, len(res.Lineage))
+				for j, rowLin := range res.Lineage {
+					item.Lineage[j] = lineageRowJSON(item.Columns, rowLin)
+				}
+			}
+		}
+		return nil
+	}()
+	if errors.Is(err, errHandled) {
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -560,8 +844,9 @@ func (s *Server) handlePurgeCache(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the Prometheus text exposition format
 // (version 0.0.4): query counts and latency, the inflight gauge,
-// admission rejections, cancellation/timeout counts and the per-kind
-// artifact-cache traffic, including the fused-result tier.
+// admission rejections, cancellation/timeout counts, streaming/batch
+// traffic and the per-kind artifact-cache traffic, including the
+// fused-result tier.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.db.Stats()
 	var b strings.Builder
@@ -573,12 +858,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	counter("hummer_requests_total", "HTTP requests received.", s.requests.Load())
-	counter("hummer_queries_total", "Queries executed via /v1/query.", s.queryCount.Load())
+	counter("hummer_queries_total", "Statements executed via /v1/query, /v1/query/stream and /v1/batch.", s.queryCount.Load())
 	counter("hummer_query_errors_total", "Queries that returned an error (including cancellations and timeouts).", s.queryErrors.Load())
 	counter("hummer_queries_rejected_total", "Queries rejected by the inflight admission cap (HTTP 429).", s.rejected.Load())
 	counter("hummer_query_client_disconnects_total", "Queries cancelled because the client closed the connection (HTTP 499).", s.clientGone.Load())
 	counter("hummer_query_timeouts_total", "Queries aborted by the query timeout (HTTP 504).", s.timeouts.Load())
 	counter("hummer_body_read_timeouts_total", "Requests whose body read outlived the per-slot deadline (HTTP 408).", s.bodyTimeouts.Load())
+	counter("hummer_streamed_queries_total", "Statements that began streaming via /v1/query/stream.", s.streamedQueries.Load())
+	counter("hummer_streamed_rows_total", "NDJSON row records emitted by /v1/query/stream.", s.streamedRows.Load())
+	counter("hummer_batch_requests_total", "Batch requests executed via /v1/batch.", s.batchRequests.Load())
+	counter("hummer_batch_statements_total", "Statements executed inside /v1/batch requests.", s.batchStatements.Load())
+	counter("hummer_batch_statement_errors_total", "Batch statements that failed (each statement fails independently).", s.batchErrors.Load())
 	gauge("hummer_inflight_queries", "Queries executing right now.", float64(s.inflight.Load()))
 	gauge("hummer_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
 
