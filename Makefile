@@ -2,8 +2,13 @@
 #
 #   make check   — everything CI needs: formatting, vet, build, tests,
 #                  the race detector on the parallel and serving
-#                  packages, the coverage floor, and the
-#                  perf-acceptance benchmarks in short mode.
+#                  packages, the chaos fault-storm, the coverage
+#                  floor, and the perf-acceptance benchmarks in short
+#                  mode.
+#   make chaos   — the fault-injection chaos suite under -race: a
+#                  server hammered by concurrent mixed queries while a
+#                  fixed-seed fault schedule fires panics, errors and
+#                  delays at every layer.
 #   make serve   — launch hummerd on the quickstart example sources.
 #   make bench   — the full benchmark suite (longer).
 #   make fmt     — rewrite files with gofmt.
@@ -23,9 +28,9 @@ RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
 COVER_FLOOR = 70
 
-.PHONY: check fmtcheck fmt vet build test race race-stream cover bench bench-short serve
+.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short serve
 
-check: fmtcheck vet build test race race-stream cover bench-short
+check: fmtcheck vet build test race race-stream chaos cover bench-short
 
 fmtcheck:
 	@unformatted=$$(gofmt -l .); \
@@ -58,6 +63,16 @@ race:
 # iterating on the streaming path.
 race-stream:
 	$(GO) test -race -run 'Stream|Rows|Batch' . ./internal/plan ./internal/server
+
+# Fault containment under fire: the chaos storm (fixed fault seed
+# baked into the test) plus every injection/containment test, all
+# under the race detector. Proves panics anywhere become typed
+# errors, the cache is never poisoned, goroutines settle, and
+# post-chaos results stay byte-identical.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Panic|Fault|Inject' \
+		./internal/faultinject ./internal/fault ./internal/parshard \
+		./internal/qcache ./internal/plan ./internal/server
 
 # Launch the query service on the quickstart example sources; stop it
 # with Ctrl-C (hummerd shuts down gracefully). See README.md for a

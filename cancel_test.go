@@ -6,24 +6,9 @@ import (
 	"runtime"
 	"testing"
 	"time"
-)
 
-// waitForGoroutines polls until the goroutine count settles at or
-// below limit, failing the test if it does not within the deadline —
-// the leak detector for cancelled pipelines.
-func waitForGoroutines(t *testing.T, limit int) {
-	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= limit {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines did not settle: %d running, want <= %d", runtime.NumGoroutine(), limit)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
+	"hummer/internal/testutil"
+)
 
 // TestQueryCancelMidFlight is the cancellation acceptance test: a
 // query cancelled while the pipeline is executing returns promptly
@@ -81,7 +66,7 @@ func TestQueryCancelMidFlight(t *testing.T) {
 	if elapsed > 5*time.Second {
 		t.Fatalf("cancelled query took %v to return", elapsed)
 	}
-	waitForGoroutines(t, before+2)
+	testutil.WaitForGoroutines(t, before+2)
 
 	// The DB must be fully usable, and the repeat byte-identical.
 	block = nil

@@ -24,8 +24,18 @@
 //	-max-inflight N      concurrently executing queries admitted
 //	                     (0 = unbounded); over-limit requests get an
 //	                     immediate 429 instead of queueing
+//	-admission-queue N   with -max-inflight, let up to N over-limit
+//	                     requests wait for a slot instead of 429ing
+//	-admission-wait D    how long a queued request may wait before
+//	                     503 (default 1s; needs -admission-queue)
 //	-allow-path-sources  let API clients register server-local files by
 //	                     path (off by default: file-disclosure risk)
+//
+// Rejection responses (429, 503, 504) carry a Retry-After header.
+//
+// Setting HUMMER_FAULTS arms the deterministic fault-injection
+// harness (see internal/faultinject) — test/chaos builds only; the
+// server logs a loud warning when it is armed.
 //
 // Every query runs under its request's context: a client that hangs
 // up cancels its own pipeline mid-flight (logged as 499), so slow
@@ -51,6 +61,7 @@ import (
 	"time"
 
 	"hummer"
+	"hummer/internal/faultinject"
 	"hummer/internal/flagspec"
 	"hummer/internal/server"
 )
@@ -76,10 +87,21 @@ func run(args []string) error {
 		"per-query execution bound; an elapsed timeout cancels the pipeline mid-flight (504). 0 disables")
 	maxInflight := fs.Int("max-inflight", 0,
 		"concurrently executing queries admitted; over-limit requests get an immediate 429 (0 = unbounded)")
+	admissionQueue := fs.Int("admission-queue", 0,
+		"with -max-inflight: over-limit requests that may wait for a slot instead of 429ing (0 = reject immediately)")
+	admissionWait := fs.Duration("admission-wait", time.Second,
+		"how long a queued request may wait for a slot before 503 (needs -admission-queue)")
 	allowPaths := fs.Bool("allow-path-sources", false,
 		"let API clients register server-local files by path (file-disclosure risk; keep off unless clients are trusted)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if armed, err := faultinject.ArmFromEnv(os.Getenv(faultinject.EnvVar)); err != nil {
+		return fmt.Errorf("%s: %w", faultinject.EnvVar, err)
+	} else if armed {
+		log.Printf("hummerd: WARNING: fault injection ARMED via %s=%q — queries will fail on purpose; never set this in production",
+			faultinject.EnvVar, os.Getenv(faultinject.EnvVar))
 	}
 
 	db := hummer.New(hummer.WithCacheCapacity(*cacheCap))
@@ -120,6 +142,9 @@ func run(args []string) error {
 	srvOpts := []server.Option{
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithMaxInflight(*maxInflight),
+	}
+	if *admissionQueue > 0 {
+		srvOpts = append(srvOpts, server.WithAdmissionWait(*admissionQueue, *admissionWait))
 	}
 	if *allowPaths {
 		srvOpts = append(srvOpts, server.AllowPathSources())

@@ -34,6 +34,7 @@ import (
 	"hummer/internal/core"
 	"hummer/internal/dumas"
 	"hummer/internal/dupdetect"
+	"hummer/internal/fault"
 	"hummer/internal/fusion"
 	"hummer/internal/lineage"
 	"hummer/internal/metadata"
@@ -109,6 +110,12 @@ type (
 	// Rows is a streaming cursor over one query's result: Next/Scan/
 	// Err/Close plus a Go 1.23 All() adapter. See DB.QueryRows.
 	Rows = plan.Rows
+	// InternalError is the typed error a contained panic becomes: it
+	// records the goroutine boundary (Site), the recovered value and
+	// the stack. Queries that hit one fail with this error (HTTP 500
+	// in hummerd) while the process and the DB stay usable; match it
+	// with errors.As.
+	InternalError = fault.InternalError
 	// Values re-exported for building rows and custom resolution
 	// functions.
 	Kind = value.Kind

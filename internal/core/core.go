@@ -21,6 +21,7 @@ import (
 	"hummer/internal/dupdetect"
 	"hummer/internal/engine"
 	"hummer/internal/expr"
+	"hummer/internal/faultinject"
 	"hummer/internal/fusion"
 	"hummer/internal/metadata"
 	"hummer/internal/qcache"
@@ -296,6 +297,9 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 // without disturbing the computation, and a cancelled leader's
 // abandoned entry is re-elected by the remaining waiters.
 func (p *Pipeline) match(ctx context.Context, left, right *relation.Relation, cfg dumas.Config) (*dumas.Result, error) {
+	if err := faultinject.Hit(faultinject.SiteCoreMatch); err != nil {
+		return nil, err
+	}
 	if p.Cache == nil {
 		return dumas.MatchContext(ctx, left, right, cfg)
 	}
@@ -314,6 +318,9 @@ func (p *Pipeline) match(ctx context.Context, left, right *relation.Relation, cf
 // WHERE-filtered variants key separately) and the full detection
 // configuration including the resolved attribute selection.
 func (p *Pipeline) detect(ctx context.Context, rel *relation.Relation, cfg dupdetect.Config) (*dupdetect.Result, error) {
+	if err := faultinject.Hit(faultinject.SiteCoreDetect); err != nil {
+		return nil, err
+	}
 	if p.Cache == nil {
 		return dupdetect.DetectContext(ctx, rel, cfg)
 	}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"hummer/internal/expr"
+	"hummer/internal/faultinject"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
 	"hummer/internal/value"
@@ -62,6 +63,9 @@ func MaterializeContext(ctx context.Context, name string, op Operator) (*relatio
 	for n := 0; ; n++ {
 		if n%materializeStride == 0 {
 			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := faultinject.Hit(faultinject.SiteEngineMaterialize); err != nil {
 				return nil, err
 			}
 		}

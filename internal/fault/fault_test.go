@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCaptureConvertsPanic(t *testing.T) {
+	before := Recovered()
+	err := func() (err error) {
+		defer Capture("test.site", &err)
+		panic("boom")
+	}()
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v (%T), want *InternalError", err, err)
+	}
+	if ie.Site != "test.site" {
+		t.Errorf("Site = %q, want test.site", ie.Site)
+	}
+	if ie.Recovered != "boom" {
+		t.Errorf("Recovered = %v, want boom", ie.Recovered)
+	}
+	if !strings.Contains(string(ie.Stack), "fault_test.go") {
+		t.Errorf("stack does not mention the panic site:\n%s", ie.Stack)
+	}
+	if got := Recovered() - before; got != 1 {
+		t.Errorf("Recovered advanced by %d, want 1", got)
+	}
+	if msg := ie.Error(); !strings.Contains(msg, "test.site") || !strings.Contains(msg, "boom") {
+		t.Errorf("Error() = %q, want site and value", msg)
+	}
+}
+
+func TestCaptureLeavesNormalReturnAlone(t *testing.T) {
+	sentinel := errors.New("ordinary failure")
+	err := func() (err error) {
+		defer Capture("test.site", &err)
+		return sentinel
+	}()
+	if err != sentinel {
+		t.Fatalf("err = %v, want the sentinel untouched", err)
+	}
+}
+
+// TestReThrownInternalErrorNotDoubleWrapped: a contained panic
+// re-thrown across a boundary without an error return (parshard.Run)
+// must pass through the next recovery unchanged and uncounted.
+func TestReThrownInternalErrorNotDoubleWrapped(t *testing.T) {
+	inner := func() (err error) {
+		defer Capture("inner.site", &err)
+		panic("deep boom")
+	}()
+	before := Recovered()
+	outer := func() (err error) {
+		defer Capture("outer.site", &err)
+		panic(inner) // re-throw the contained error, as Run does
+	}()
+	if got := Recovered() - before; got != 0 {
+		t.Errorf("re-containment counted %d new panics, want 0", got)
+	}
+	var ie *InternalError
+	if !errors.As(outer, &ie) {
+		t.Fatalf("outer = %v (%T), want *InternalError", outer, outer)
+	}
+	if ie.Site != "inner.site" {
+		t.Errorf("Site = %q, want the original inner.site", ie.Site)
+	}
+	if ie != inner {
+		t.Errorf("outer error is a new wrapper, want the identical inner error")
+	}
+}
+
+// TestUnwrapExposesErrorPanics: errors.Is sees through containment
+// when the panic value was itself an error.
+func TestUnwrapExposesErrorPanics(t *testing.T) {
+	sentinel := errors.New("panicked error")
+	err := func() (err error) {
+		defer Capture("test.site", &err)
+		panic(sentinel)
+	}()
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is(%v, sentinel) = false, want true", err)
+	}
+
+	err = func() (err error) {
+		defer Capture("test.site", &err)
+		panic(42) // non-error panic value: Unwrap returns nil
+	}()
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatal("want *InternalError")
+	}
+	if ie.Unwrap() != nil {
+		t.Errorf("Unwrap() = %v for a non-error panic value, want nil", ie.Unwrap())
+	}
+}

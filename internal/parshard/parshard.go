@@ -40,6 +40,16 @@
 // abort every worker goroutine, the generator goroutine and the
 // collector are joined before the call returns: a cancelled run leaks
 // nothing.
+//
+// # Fault containment
+//
+// Every goroutine parshard starts — workers, the generator, the
+// shards of RangesContext — recovers panics at its boundary and
+// converts them into a *fault.InternalError returned from the call;
+// the run aborts exactly like a cancellation (drain, join, no partial
+// result) and the process survives. Run and Ranges, which have no
+// error return, re-panic the already-contained error so the next
+// boundary up re-recovers the same value without double-counting.
 package parshard
 
 import (
@@ -47,6 +57,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"hummer/internal/fault"
+	"hummer/internal/faultinject"
 )
 
 // DefaultChunk is the default number of items per work unit: large
@@ -69,9 +82,16 @@ type Gen[T any] func(yield func(T) bool)
 
 // Run consumes gen with the given number of worker goroutines and
 // returns the folded result. It is RunContext with a background
-// context: it cannot be cancelled.
+// context: it cannot be cancelled. A fault contained inside the run is
+// re-panicked (it is already a *fault.InternalError, so the next
+// recovery boundary passes it through unchanged).
 func Run[T, R any](workers, chunkSize int, gen Gen[T], newWorker func() func(item T, out *R), merge func(into *R, chunk R)) R {
-	out, _ := RunContext(context.Background(), workers, chunkSize, gen, newWorker, merge)
+	out, err := RunContext(context.Background(), workers, chunkSize, gen, newWorker, merge)
+	if err != nil {
+		// The background context never cancels, so any error here is a
+		// contained fault; rethrow it across this error-less API.
+		panic(fault.NewInternal(faultinject.SiteParshardWorker, err))
+	}
 	return out
 }
 
@@ -107,23 +127,35 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 		return zero, err
 	}
 	if workers <= 1 {
-		proc := newWorker()
 		var out R
-		n := 0
-		var ctxErr error
-		gen(func(item T) bool {
-			// Cooperative check once per chunk-sized run of items,
-			// mirroring the parallel path's abort granularity.
-			if n%chunkSize == 0 {
-				if ctxErr = ctx.Err(); ctxErr != nil {
-					return false
+		var ctxErr, injErr error
+		err := func() (err error) {
+			defer fault.Capture(faultinject.SiteParshardWorker, &err)
+			proc := newWorker()
+			n := 0
+			gen(func(item T) bool {
+				// Cooperative check once per chunk-sized run of items,
+				// mirroring the parallel path's abort granularity.
+				if n%chunkSize == 0 {
+					if ctxErr = ctx.Err(); ctxErr != nil {
+						return false
+					}
+					if injErr = faultinject.Hit(faultinject.SiteParshardWorker); injErr != nil {
+						return false
+					}
 				}
-			}
-			n++
-			proc(item, &out)
-			return true
-		})
-		if ctxErr != nil {
+				n++
+				proc(item, &out)
+				return true
+			})
+			return nil
+		}()
+		switch {
+		case err != nil:
+			return zero, err
+		case injErr != nil:
+			return zero, injErr
+		case ctxErr != nil:
 			return zero, ctxErr
 		}
 		return out, nil
@@ -144,23 +176,61 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 		return &buf
 	}}
 
+	// failErr records the first contained fault (a recovered panic or
+	// an injected error) from any goroutine of the run. Once set, the
+	// run aborts like a cancellation: the generator stops streaming and
+	// the workers stop scoring but keep draining, so every send
+	// completes and every goroutine joins.
+	var failMu sync.Mutex
+	var failErr error
+	setFail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+	getFail := func() error {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failErr
+	}
+
 	// Generator: stream the canonical order into chunks. The send
 	// selects on ctx so a cancelled run never wedges the generator;
 	// genDone lets the caller join it before returning (the generator
 	// may still be inside gen — sorting, building block maps — when the
-	// workers have already drained everything).
+	// workers have already drained everything). Deferred LIFO: a panic
+	// inside gen is recovered first, then jobs closes (releasing the
+	// workers), then genDone.
 	genDone := make(chan struct{})
 	go func() {
 		defer close(genDone)
 		defer close(jobs)
+		defer func() {
+			if r := recover(); r != nil {
+				setFail(fault.NewInternal(faultinject.SiteParshardGenerator, r))
+			}
+		}()
 		idx := 0
 		buf := bufPool.Get().(*[]T)
+		aborted := false
 		gen(func(item T) bool {
 			*buf = append(*buf, item)
 			if len(*buf) == chunkSize {
+				if getFail() != nil {
+					aborted = true
+					return false
+				}
+				if err := faultinject.Hit(faultinject.SiteParshardGenerator); err != nil {
+					setFail(err)
+					aborted = true
+					return false
+				}
 				select {
 				case jobs <- chunk{idx: idx, items: *buf}:
 				case <-ctx.Done():
+					aborted = true
 					return false
 				}
 				idx++
@@ -169,7 +239,7 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 			}
 			return true
 		})
-		if len(*buf) > 0 && ctx.Err() == nil {
+		if len(*buf) > 0 && !aborted && ctx.Err() == nil && getFail() == nil {
 			select {
 			case jobs <- chunk{idx: idx, items: *buf}:
 			case <-ctx.Done():
@@ -177,27 +247,50 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 		}
 	}()
 
+	// runChunk scores one chunk behind a recovery boundary, so a panic
+	// in the caller's processing function fails the run instead of the
+	// process.
+	runChunk := func(proc func(item T, out *R), items []T) (out R, err error) {
+		defer fault.Capture(faultinject.SiteParshardWorker, &err)
+		if err := faultinject.Hit(faultinject.SiteParshardWorker); err != nil {
+			return out, err
+		}
+		for _, item := range items {
+			proc(item, &out)
+		}
+		return out, nil
+	}
+	// makeWorker guards newWorker (caller code) the same way.
+	makeWorker := func() (proc func(item T, out *R), err error) {
+		defer fault.Capture(faultinject.SiteParshardWorker, &err)
+		return newWorker(), nil
+	}
+
 	// Workers: process chunks with per-worker state; once the context
-	// is cancelled they stop scoring but keep draining jobs so the
-	// generator's sends always complete.
+	// is cancelled or a fault is recorded they stop scoring but keep
+	// draining jobs so the generator's sends always complete.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			proc := newWorker()
+			proc, perr := makeWorker()
+			if perr != nil {
+				setFail(perr)
+			}
 			for ch := range jobs {
-				if ctx.Err() != nil {
+				if perr != nil || ctx.Err() != nil || getFail() != nil {
 					buf := ch.items[:0]
 					bufPool.Put(&buf)
 					continue
 				}
-				var out R
-				for _, item := range ch.items {
-					proc(item, &out)
-				}
+				out, err := runChunk(proc, ch.items)
 				buf := ch.items[:0]
 				bufPool.Put(&buf)
+				if err != nil {
+					setFail(err)
+					continue
+				}
 				results <- indexed{idx: ch.idx, res: out}
 			}
 		}()
@@ -215,6 +308,9 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 		chunks = append(chunks, r)
 	}
 	<-genDone
+	if err := getFail(); err != nil {
+		return zero, err
+	}
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
@@ -236,8 +332,13 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 // [lo, hi) of shared slices) or shard-local state keyed by the shard
 // index; the caller folds any shard-local reductions afterwards, in
 // shard order.
+// A fault contained inside a shard is re-panicked across this
+// error-less API (already a *fault.InternalError, so the next recovery
+// boundary passes it through unchanged).
 func Ranges(workers, n int, fn func(shard, lo, hi int)) {
-	_ = RangesContext(context.Background(), workers, n, fn)
+	if err := RangesContext(context.Background(), workers, n, fn); err != nil {
+		panic(fault.NewInternal(faultinject.SiteParshardRange, err))
+	}
 }
 
 // RangesContext is Ranges with cooperative cancellation: the context
@@ -255,10 +356,24 @@ func RangesContext(ctx context.Context, workers, n int, fn func(shard, lo, hi in
 	if workers > n {
 		workers = n
 	}
+	// runShard is the per-shard recovery boundary: a panic in fn fails
+	// the run, never the process.
+	runShard := func(shard, lo, hi int) (err error) {
+		defer fault.Capture(faultinject.SiteParshardRange, &err)
+		if err := faultinject.Hit(faultinject.SiteParshardRange); err != nil {
+			return err
+		}
+		fn(shard, lo, hi)
+		return nil
+	}
 	if workers <= 1 {
-		fn(0, 0, n)
+		if err := runShard(0, 0, n); err != nil {
+			return err
+		}
 		return ctx.Err()
 	}
+	var failMu sync.Mutex
+	var failErr error
 	var wg sync.WaitGroup
 	for s := 0; s < workers; s++ {
 		lo := s * n / workers
@@ -269,10 +384,19 @@ func RangesContext(ctx context.Context, workers, n int, fn func(shard, lo, hi in
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			fn(s, lo, hi)
+			if err := runShard(s, lo, hi); err != nil {
+				failMu.Lock()
+				if failErr == nil {
+					failErr = err
+				}
+				failMu.Unlock()
+			}
 		}(s, lo, hi)
 	}
 	wg.Wait()
+	if failErr != nil {
+		return failErr
+	}
 	return ctx.Err()
 }
 

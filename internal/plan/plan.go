@@ -25,6 +25,7 @@ import (
 	"hummer/internal/dupdetect"
 	"hummer/internal/engine"
 	"hummer/internal/expr"
+	"hummer/internal/faultinject"
 	"hummer/internal/fusion"
 	"hummer/internal/lineage"
 	"hummer/internal/metadata"
@@ -191,6 +192,9 @@ func (e *Executor) executeStmt(ctx context.Context, stmt *sql.Stmt, raw string, 
 		return nil, fmt.Errorf("plan: executor has no repository")
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Hit(faultinject.SitePlanQuery); err != nil {
 		return nil, err
 	}
 	if stmt.IsFusion() {

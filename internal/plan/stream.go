@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"hummer/internal/core"
+	"hummer/internal/fault"
+	"hummer/internal/faultinject"
 	"hummer/internal/lineage"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
@@ -112,10 +114,19 @@ func (e *Executor) StreamContext(ctx context.Context, q string, opt ExecOptions)
 // send gives up when ctx is cancelled (Close cancels it), so the
 // producer can never outlive an abandoned-then-closed stream; its
 // final act is always to publish the terminal state and close the
-// channel — the consumer's join point.
+// channel — the consumer's join point. The producer goroutine is a
+// containment boundary: a panic anywhere in execution becomes the
+// stream's terminal *fault.InternalError, published before the close,
+// never a process crash.
 func (r *Rows) produce(ctx context.Context, e *Executor, stmt *sql.Stmt, q string, opt ExecOptions) {
 	defer close(r.events)
-	err := r.run(ctx, e, stmt, q, opt)
+	err := func() (err error) {
+		defer fault.Capture(faultinject.SitePlanStream, &err)
+		if err := faultinject.Hit(faultinject.SitePlanStream); err != nil {
+			return err
+		}
+		return r.run(ctx, e, stmt, q, opt)
+	}()
 	if err != nil && r.earlyClose.Load() && errors.Is(err, context.Canceled) {
 		// The consumer closed the stream on purpose; the resulting
 		// cancellation is a clean shutdown, not a failure.
@@ -160,6 +171,11 @@ func (r *Rows) run(ctx context.Context, e *Executor, stmt *sql.Stmt, q string, o
 			if !r.send(ctx, ev) {
 				return ctx.Err()
 			}
+			// Chunk-boundary fault point: lets the harness fail a stream
+			// mid-flight, after rows have already reached the consumer.
+			if err := faultinject.Hit(faultinject.SitePlanStream); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -188,6 +204,9 @@ func (r *Rows) run(ctx context.Context, e *Executor, stmt *sql.Stmt, q string, o
 				return ctx.Err()
 			}
 			chunk = make([]relation.Row, 0, streamChunkRows)
+			if err := faultinject.Hit(faultinject.SitePlanStream); err != nil {
+				return err
+			}
 		}
 		if !ok {
 			return nil
@@ -195,10 +214,23 @@ func (r *Rows) run(ctx context.Context, e *Executor, stmt *sql.Stmt, q string, o
 	}
 }
 
+// queuedEvents counts stream events sitting in producer→consumer
+// buffers across all live Rows: the backpressure gauge hummerd
+// exports as hummer_stream_chunk_queue_depth. A persistently high
+// depth means producers outrun consumers (slow clients holding
+// materialized chunks); zero at rest proves streams drain fully.
+var queuedEvents atomic.Int64
+
+// StreamQueueDepth reports how many stream events are currently
+// buffered between producers and consumers, summed over all live
+// streams.
+func StreamQueueDepth() int64 { return queuedEvents.Load() }
+
 // send delivers one event unless the stream's context ends first.
 func (r *Rows) send(ctx context.Context, ev streamEvent) bool {
 	select {
 	case r.events <- ev:
+		queuedEvents.Add(1)
 		return true
 	case <-ctx.Done():
 		return false
@@ -209,6 +241,9 @@ func (r *Rows) send(ctx context.Context, ev streamEvent) bool {
 // closes. Returns false at end of stream (or after an error).
 func (r *Rows) next() (streamEvent, bool) {
 	ev, ok := <-r.events
+	if ok {
+		queuedEvents.Add(-1)
+	}
 	if !ok {
 		if !r.drained {
 			r.drained = true
@@ -413,6 +448,7 @@ func (r *Rows) Close() error {
 	// Drain to the producer's close — the join. Terminal state is
 	// deliberately NOT folded in: an early Close is not an error.
 	for range r.events {
+		queuedEvents.Add(-1)
 	}
 	if !r.drained {
 		r.drained = true

@@ -10,6 +10,7 @@ import (
 	"hummer/internal/core"
 	"hummer/internal/qcache"
 	"hummer/internal/relation"
+	"hummer/internal/testutil"
 )
 
 // drainRows materializes a stream into a relation, failing on any
@@ -207,13 +208,7 @@ func TestStreamEarlyClose(t *testing.T) {
 			break
 		}
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for runtime.NumGoroutine() > before+2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("producer goroutines leaked: %d > %d", runtime.NumGoroutine(), before+2)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitForGoroutines(t, before+2)
 }
 
 // TestStreamCancelMidFlight: cancelling the stream's context ends it
@@ -247,13 +242,7 @@ func TestStreamCancelMidFlight(t *testing.T) {
 		t.Fatalf("Err = %v, want context.Canceled", rows.Err())
 	}
 	rows.Close()
-	deadline := time.Now().Add(3 * time.Second)
-	for runtime.NumGoroutine() > before+2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("producer goroutines leaked: %d > %d", runtime.NumGoroutine(), before+2)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	testutil.WaitForGoroutines(t, before+2)
 }
 
 // TestStreamTimeout: ExecOptions.Timeout bounds the stream's whole

@@ -33,6 +33,15 @@
 // first waiter with a live context becomes the new leader and
 // recomputes. Only genuine compute errors propagate to waiters.
 //
+// # Fault containment
+//
+// A leader whose compute panics can never poison the cache: the panic
+// is recovered at the leader boundary, the entry is failed, marked
+// abandoned (waiters re-elect exactly like the cancelled-leader path)
+// and dropped, and the leader's call returns a *fault.InternalError.
+// The panic degrades one lookup; the key stays computable and the
+// process survives.
+//
 // Cached values are shared across goroutines and must be treated as
 // immutable by all consumers.
 package qcache
@@ -45,6 +54,8 @@ import (
 	"strings"
 	"sync"
 
+	"hummer/internal/fault"
+	"hummer/internal/faultinject"
 	"hummer/internal/relation"
 )
 
@@ -262,21 +273,35 @@ func (c *Cache) DoContext(ctx context.Context, key Key, compute func(ctx context
 }
 
 // lead runs compute as the entry's leader and publishes the outcome.
-func (c *Cache) lead(ctx context.Context, key Key, e *entry, compute func(ctx context.Context) (any, error)) (any, bool, error) {
+func (c *Cache) lead(ctx context.Context, key Key, e *entry, compute func(ctx context.Context) (any, error)) (val any, hit bool, err error) {
 	// A compute that panics (e.g. a parser bug on hostile input) must
 	// not wedge the key: waiters would block on ready forever and the
-	// in-flight entry is exempt from eviction and Purge. Fail the
-	// entry, release the waiters, then let the panic continue to the
-	// caller (hummerd's handler recovery).
+	// in-flight entry is exempt from eviction and Purge. The panic is
+	// contained right here — the entry is failed, marked abandoned
+	// (waiters re-elect exactly as after a cancelled leader) and
+	// dropped so nothing is ever cached from a panicked compute, and
+	// the leader's own call returns a *fault.InternalError instead of
+	// crashing the process.
+	published := false
 	defer func() {
-		if r := recover(); r != nil {
-			e.err = fmt.Errorf("qcache: computing %s artifact panicked: %v", key.Kind, r)
-			close(e.ready)
-			c.dropFailedEntry(key, e)
-			panic(r)
+		r := recover()
+		if r == nil {
+			return
 		}
+		ie := fault.NewInternal(faultinject.SiteQCacheLeader, r)
+		if !published {
+			e.err = ie
+			e.abandoned = true
+			close(e.ready)
+		}
+		c.dropFailedEntry(key, e)
+		val, hit, err = nil, false, ie
 	}()
-	e.val, e.err = compute(ctx)
+	if injErr := faultinject.Hit(faultinject.SiteQCacheLeader); injErr != nil {
+		e.err = injErr
+	} else {
+		e.val, e.err = compute(ctx)
+	}
 	if e.err != nil && ctx.Err() != nil &&
 		(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
 		// The leader was cancelled, not the computation refuted:
@@ -288,6 +313,7 @@ func (c *Cache) lead(ctx context.Context, key Key, e *entry, compute func(ctx co
 		e.abandoned = true
 	}
 	close(e.ready)
+	published = true
 
 	c.mu.Lock()
 	if e.err != nil {

@@ -1,12 +1,15 @@
 package qcache
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"hummer/internal/fault"
+	"hummer/internal/faultinject"
 	"hummer/internal/relation"
 )
 
@@ -107,64 +110,82 @@ func TestDoErrorNotCached(t *testing.T) {
 	}
 }
 
-// TestDoPanicDoesNotWedgeKey: a compute that panics must release any
-// singleflight waiters with an error, drop the entry so the key
-// recomputes, and re-propagate the panic — never leave the key
-// permanently in flight.
+// TestDoPanicDoesNotWedgeKey: a compute that panics is contained at
+// the leader boundary — the leader's call returns a
+// *fault.InternalError (never a process crash), the entry is dropped,
+// and singleflight waiters re-elect and recompute exactly like the
+// cancelled-leader path — never left wedged, never poisoned.
 func TestDoPanicDoesNotWedgeKey(t *testing.T) {
 	c := New(8)
 	key := Key{Kind: KindPlan, Fingerprint: "p"}
 
 	started := make(chan struct{})
 	release := make(chan struct{})
-	panicked := make(chan any, 1)
+	leaderErr := make(chan error, 1)
 	go func() {
-		defer func() { panicked <- recover() }()
-		c.Do(key, func() (any, error) {
+		_, _, err := c.Do(key, func() (any, error) {
 			close(started)
 			<-release
 			panic("parser bug")
 		})
+		leaderErr <- err
 	}()
 	<-started
 
 	// Attach a waiter while the compute is in flight.
-	waiter := make(chan error, 1)
+	type waiterResult struct {
+		val any
+		err error
+	}
+	waiter := make(chan waiterResult, 1)
 	go func() {
-		_, _, err := c.Do(key, func() (any, error) { return "recomputed", nil })
-		waiter <- err
+		v, _, err := c.Do(key, func() (any, error) { return "recomputed", nil })
+		waiter <- waiterResult{v, err}
 	}()
 	// Let the waiter reach the in-flight entry, then fire the panic.
 	// (Shared is counted when a waiter resolves, not when it attaches;
 	// the Waiters gauge is the attach observable.)
 	for c.Stats().Waiters == 0 {
 		select {
-		case err := <-waiter:
-			t.Fatalf("waiter returned before the flight resolved: %v", err)
+		case r := <-waiter:
+			t.Fatalf("waiter returned before the flight resolved: %v", r)
 		default:
 		}
 	}
 	close(release)
 
+	// The leader gets the contained panic as a typed internal error.
+	err := <-leaderErr
+	var ie *fault.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("leader err = %v (%T), want *fault.InternalError", err, err)
+	}
+	if ie.Site != faultinject.SiteQCacheLeader {
+		t.Errorf("Site = %q, want %q", ie.Site, faultinject.SiteQCacheLeader)
+	}
+
+	// The waiter re-elects like the cancelled-leader path and computes
+	// its own fresh value — it never inherits the panicked flight.
 	select {
-	case err := <-waiter:
-		if err == nil {
-			t.Error("waiter sharing a panicked flight must receive an error")
+	case r := <-waiter:
+		if r.err != nil || r.val != "recomputed" {
+			t.Errorf("re-elected waiter = (%v, %v), want fresh recompute", r.val, r.err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("waiter wedged after compute panic")
 	}
-	if r := <-panicked; r == nil {
-		t.Error("panic must propagate to the computing caller")
-	}
-	if c.Len() != 0 {
-		t.Fatalf("panicked entry stayed resident: len=%d", c.Len())
+
+	// The panicked entry itself never lingers; the waiter's recompute
+	// is the only resident value for the key.
+	v, ok := c.Get(key)
+	if !ok || v != "recomputed" {
+		t.Fatalf("Get = (%v, %v), want the waiter's recompute resident", v, ok)
 	}
 
-	// The key must recompute cleanly afterwards.
-	v, hit, err := c.Do(key, func() (any, error) { return 1, nil })
-	if err != nil || hit || v.(int) != 1 {
-		t.Errorf("post-panic Do = (%v, %v, %v), want fresh 1", v, hit, err)
+	// And the key keeps serving.
+	v2, hit, err := c.Do(key, func() (any, error) { return 1, nil })
+	if err != nil || !hit || v2 != "recomputed" {
+		t.Errorf("post-panic Do = (%v, %v, %v), want cached recompute", v2, hit, err)
 	}
 }
 

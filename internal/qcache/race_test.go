@@ -1,0 +1,185 @@
+package qcache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hummer/internal/fault"
+	"hummer/internal/faultinject"
+	"hummer/internal/testutil"
+)
+
+// TestDoContextConcurrentPanicsRace hammers a small key space with
+// concurrent lookups whose computes deterministically panic part of
+// the time, asserting the containment invariants under the race
+// detector: every call returns (panicked leaders get an
+// *InternalError, re-elected waiters eventually a value), the cache is
+// never poisoned (a successful call always observes the computed
+// value), and the stats stay monotone-consistent — exactly one event
+// per resolved lookup.
+func TestDoContextConcurrentPanicsRace(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	c := New(32)
+	const (
+		goroutines = 16
+		iterations = 60
+		keys       = 4
+	)
+	var computes atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				key := Key{Kind: KindMatch, Fingerprint: fmt.Sprint((g + i) % keys)}
+				val, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+					// Every third compute panics, deterministically by
+					// global compute ordinal — enough collisions that
+					// leaders panic with waiters attached.
+					if computes.Add(1)%3 == 0 {
+						panic("chaos compute")
+					}
+					return "v:" + key.Fingerprint, nil
+				})
+				if err != nil {
+					var ie *fault.InternalError
+					if !errors.As(err, &ie) {
+						t.Errorf("err = %v (%T), want *InternalError or nil", err, err)
+					}
+					continue
+				}
+				if val != "v:"+key.Fingerprint {
+					t.Errorf("key %s resolved to %v — cache poisoned", key.Fingerprint, val)
+				}
+				// A successful lookup leaves the value resident.
+				if got, ok := c.Get(key); ok && got != "v:"+key.Fingerprint {
+					t.Errorf("Get(%s) = %v after success — cache poisoned", key.Fingerprint, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Monotone-consistency: each of the goroutines*iterations lookups
+	// resolved as exactly one of hit/miss/shared.
+	st := c.Stats()
+	var total uint64
+	for _, ks := range st.Kinds {
+		total += ks.Hits + ks.Misses + ks.Shared
+	}
+	if want := uint64(goroutines * iterations); total != want {
+		t.Errorf("stats sum = %d, want exactly %d (one event per lookup)", total, want)
+	}
+	if st.Waiters != 0 {
+		t.Errorf("Waiters = %d at rest, want 0", st.Waiters)
+	}
+
+	// Post-chaos: every key still computes and caches cleanly.
+	for k := 0; k < keys; k++ {
+		key := Key{Kind: KindMatch, Fingerprint: fmt.Sprint(k)}
+		val, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+			return "v:" + key.Fingerprint, nil
+		})
+		if err != nil || val != "v:"+key.Fingerprint {
+			t.Errorf("post-chaos key %d = (%v, %v)", k, val, err)
+		}
+	}
+}
+
+// TestDoContextInjectedLeaderFaultsRace drives the qcache.leader.compute
+// fault point concurrently: injected panics are contained and injected
+// errors propagate like genuine ones, with the cache healthy after.
+func TestDoContextInjectedLeaderFaultsRace(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	faultinject.Arm(&faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteQCacheLeader, Kind: faultinject.Panic, Every: 5},
+		{Site: faultinject.SiteQCacheLeader, Kind: faultinject.Error, Every: 3},
+	}})
+	defer faultinject.Disarm()
+
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := PlanKey(fmt.Sprint((g + i) % 3))
+				val, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+					return "plan:" + key.Fingerprint, nil
+				})
+				if err == nil && val != "plan:"+key.Fingerprint {
+					t.Errorf("key %s = %v — poisoned by injected fault", key.Fingerprint, val)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	faultinject.Disarm()
+
+	for k := 0; k < 3; k++ {
+		key := PlanKey(fmt.Sprint(k))
+		val, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+			return "plan:" + key.Fingerprint, nil
+		})
+		if err != nil || val != "plan:"+key.Fingerprint {
+			t.Errorf("post-injection key %d = (%v, %v)", k, val, err)
+		}
+	}
+}
+
+// FuzzDoContextFaultSchedule fuzzes the leader fault schedule: each
+// input byte scripts one lookup's compute behavior (value, error or
+// panic) over a small key space. Invariants under any schedule: a nil
+// error implies the correct value (never another key's, never a
+// panicked leader's), panics surface only as *InternalError, and every
+// key still computes cleanly afterwards.
+func FuzzDoContextFaultSchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{2, 2, 2, 0})
+	f.Add([]byte{1, 0, 2, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 256 {
+			t.Skip()
+		}
+		c := New(4)
+		for i, b := range script {
+			key := PlanKey(fmt.Sprint(b % 3))
+			want := "v:" + key.Fingerprint
+			val, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+				switch (b >> 2) % 3 {
+				case 1:
+					return nil, fmt.Errorf("scripted error %d", i)
+				case 2:
+					panic(fmt.Sprintf("scripted panic %d", i))
+				default:
+					return want, nil
+				}
+			})
+			if err == nil && val != want {
+				t.Fatalf("step %d: key %s = %v, want %s", i, key.Fingerprint, val, want)
+			}
+			if err != nil {
+				var ie *fault.InternalError
+				if (b>>2)%3 == 2 && !errors.As(err, &ie) {
+					t.Fatalf("step %d: panicked compute returned %T, want *InternalError", i, err)
+				}
+			}
+		}
+		// No schedule may leave a key wedged or poisoned.
+		for k := 0; k < 3; k++ {
+			key := PlanKey(fmt.Sprint(k))
+			val, _, err := c.DoContext(context.Background(), key, func(context.Context) (any, error) {
+				return "v:" + key.Fingerprint, nil
+			})
+			if err != nil || val != "v:"+key.Fingerprint {
+				t.Fatalf("post-script key %d = (%v, %v)", k, val, err)
+			}
+		}
+	})
+}

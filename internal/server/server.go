@@ -31,8 +31,24 @@
 // configured query timeout: a client that hangs up cancels its
 // pipeline mid-flight (reported with the Nginx-style 499 status), an
 // elapsed timeout aborts it with 504, and WithMaxInflight bounds
-// concurrent query admission — over-limit requests are rejected
-// immediately with 429 instead of queueing without bound.
+// concurrent query admission. Over-cap requests are rejected with 429
+// by default; WithAdmissionWait adds a small bounded wait queue in
+// front of the reject, so short bursts absorb instead of failing —
+// a queued request waits at most the configured bound (tightened by
+// its own deadline), then gets 503. Every overload rejection carries a
+// Retry-After header.
+//
+// # Fault containment
+//
+// Handlers are a containment boundary: a panic anywhere below (and
+// not already contained by a deeper boundary — parshard workers, the
+// stream producer, qcache leaders) is recovered in the Handler
+// middleware, converted to a *fault.InternalError, counted, and
+// answered with 500 when the response is still unwritten. The process
+// survives, the DB stays usable, and subsequent queries return
+// byte-identical results to an unfaulted run. Mid-stream panics
+// surface as a truncated NDJSON response (no trailer), which the
+// stream protocol already defines as a failed stream.
 package server
 
 import (
@@ -40,6 +56,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"os"
@@ -50,6 +67,9 @@ import (
 	"time"
 
 	"hummer"
+	"hummer/internal/fault"
+	"hummer/internal/faultinject"
+	"hummer/internal/plan"
 	"hummer/internal/qcache"
 	"hummer/internal/value"
 )
@@ -80,8 +100,16 @@ type Server struct {
 	// queryTimeout bounds each query's execution; 0 means unbounded.
 	queryTimeout time.Duration
 	// maxInflight caps concurrently executing queries; 0 means
-	// unbounded. Admission is immediate-reject (429), never queueing.
+	// unbounded. slots is the admission semaphore (nil when unbounded):
+	// one token per executing query.
 	maxInflight int64
+	slots       chan struct{}
+	// admissionQueue/admissionWait configure the bounded wait queue in
+	// front of the cap: up to admissionQueue over-cap requests may wait
+	// up to admissionWait (tightened by their own deadline) for a slot
+	// before the 503. Zero values keep pure immediate-reject.
+	admissionQueue int
+	admissionWait  time.Duration
 
 	// Query lifecycle counters (exposed by /v1/stats and /metrics).
 	inflight     atomic.Int64
@@ -92,6 +120,13 @@ type Server struct {
 	queryCount   atomic.Uint64
 	queryErrors  atomic.Uint64
 	queryNanos   atomic.Uint64
+
+	// Admission wait-queue traffic and fault containment (exposed
+	// alongside the above).
+	queuedNow      atomic.Int64
+	queuedTotal    atomic.Uint64
+	queueTimeouts  atomic.Uint64
+	internalErrors atomic.Uint64
 
 	// Streaming and batch traffic (exposed alongside the above).
 	streamedQueries atomic.Uint64
@@ -127,11 +162,29 @@ func WithQueryTimeout(d time.Duration) Option {
 // Requests over the cap are rejected immediately with 429 — bounded
 // admission instead of unbounded queueing — so a burst degrades
 // loudly and recoverably rather than piling up work for clients that
-// may already be gone. n <= 0 means unbounded.
+// may already be gone. n <= 0 means unbounded. Combine with
+// WithAdmissionWait to absorb short bursts in a bounded queue before
+// the reject.
 func WithMaxInflight(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
 			s.maxInflight = int64(n)
+		}
+	}
+}
+
+// WithAdmissionWait puts a small bounded wait queue in front of the
+// inflight cap: up to queue over-cap requests wait up to maxWait for
+// a slot instead of bouncing straight to 429. The wait is
+// deadline-aware — a request never queues longer than its own
+// context's deadline permits — and a wait that expires answers 503
+// with a Retry-After. queue <= 0 or maxWait <= 0 keeps pure
+// immediate-reject. No effect without WithMaxInflight.
+func WithAdmissionWait(queue int, maxWait time.Duration) Option {
+	return func(s *Server) {
+		if queue > 0 && maxWait > 0 {
+			s.admissionQueue = queue
+			s.admissionWait = maxWait
 		}
 	}
 }
@@ -141,6 +194,9 @@ func New(db *hummer.DB, opts ...Option) *Server {
 	s := &Server{db: db, mux: http.NewServeMux(), start: time.Now()}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.maxInflight > 0 {
+		s.slots = make(chan struct{}, s.maxInflight)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -156,14 +212,63 @@ func New(db *hummer.DB, opts ...Option) *Server {
 	return s
 }
 
-// Handler returns the routable handler (request counting included).
+// Handler returns the routable handler: request counting, body
+// capping, and the handler-level fault containment boundary.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-		s.mux.ServeHTTP(w, r)
+		rw := &recoverWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				// net/http's own deliberate abort token — not a fault.
+				panic(rec)
+			}
+			ie := fault.NewInternal("server.handler", rec)
+			s.internalErrors.Add(1)
+			log.Printf("hummerd: contained panic serving %s %s: %v\n%s",
+				r.Method, r.URL.Path, ie.Recovered, ie.Stack)
+			if !rw.wrote {
+				writeError(rw, http.StatusInternalServerError, "%v", ie)
+			}
+			// Response already committed (e.g. mid-NDJSON-stream): the
+			// truncated body — no trailer record — already signals a
+			// failed stream to the client; nothing more can be sent.
+		}()
+		s.mux.ServeHTTP(rw, r)
 	})
 }
+
+// recoverWriter tracks whether a response has been committed, so the
+// containment boundary knows if a 500 can still be written. Unwrap
+// keeps http.ResponseController features (read deadlines) working
+// through the wrap, and Flush passes streaming flushes along.
+type recoverWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *recoverWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *recoverWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *recoverWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *recoverWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // --- Responses --------------------------------------------------------------
 
@@ -237,6 +342,13 @@ type statsResponse struct {
 	BatchRequests        uint64 `json:"batch_requests"`
 	BatchStatements      uint64 `json:"batch_statements"`
 	BatchStatementErrors uint64 `json:"batch_statement_errors"`
+	// AdmissionWaiters is the number of requests queued for a slot
+	// right now (WithAdmissionWait); AdmissionWaits counts requests
+	// that entered the queue; AdmissionWaitTimeouts counts waits that
+	// expired into a 503.
+	AdmissionWaiters      int64  `json:"admission_waiters"`
+	AdmissionWaits        uint64 `json:"admission_waits"`
+	AdmissionWaitTimeouts uint64 `json:"admission_wait_timeouts"`
 	// ClientDisconnects counts queries cancelled because the client
 	// hung up (499); QueryTimeouts counts queries aborted by the
 	// query timeout (504); BodyReadTimeouts counts requests whose
@@ -244,6 +356,15 @@ type statsResponse struct {
 	ClientDisconnects uint64 `json:"client_disconnects"`
 	QueryTimeouts     uint64 `json:"query_timeouts"`
 	BodyReadTimeouts  uint64 `json:"body_read_timeouts"`
+	// PanicsRecovered counts panics converted to internal errors
+	// anywhere in the process (the containment layer's proof of work);
+	// InternalErrors counts requests that failed on one.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	InternalErrors  uint64 `json:"internal_errors"`
+	// StreamChunkQueueDepth is the number of stream row chunks
+	// currently buffered between producers and consumers — the
+	// streaming backpressure gauge.
+	StreamChunkQueueDepth int64 `json:"stream_chunk_queue_depth"`
 	// QuerySeconds is the total wall-clock time spent executing
 	// statements (sum over /v1/query, /v1/query/stream and /v1/batch
 	// statements, including failed ones).
@@ -253,20 +374,26 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeSeconds:        time.Since(s.start).Seconds(),
-		Requests:             s.requests.Load(),
-		InflightQueries:      s.inflight.Load(),
-		RejectedQueries:      s.rejected.Load(),
-		StreamedQueries:      s.streamedQueries.Load(),
-		StreamedRows:         s.streamedRows.Load(),
-		BatchRequests:        s.batchRequests.Load(),
-		BatchStatements:      s.batchStatements.Load(),
-		BatchStatementErrors: s.batchErrors.Load(),
-		ClientDisconnects:    s.clientGone.Load(),
-		QueryTimeouts:        s.timeouts.Load(),
-		BodyReadTimeouts:     s.bodyTimeouts.Load(),
-		QuerySeconds:         float64(s.queryNanos.Load()) / float64(time.Second),
-		DB:                   s.db.Stats(),
+		UptimeSeconds:         time.Since(s.start).Seconds(),
+		Requests:              s.requests.Load(),
+		InflightQueries:       s.inflight.Load(),
+		RejectedQueries:       s.rejected.Load(),
+		StreamedQueries:       s.streamedQueries.Load(),
+		StreamedRows:          s.streamedRows.Load(),
+		BatchRequests:         s.batchRequests.Load(),
+		BatchStatements:       s.batchStatements.Load(),
+		BatchStatementErrors:  s.batchErrors.Load(),
+		AdmissionWaiters:      s.queuedNow.Load(),
+		AdmissionWaits:        s.queuedTotal.Load(),
+		AdmissionWaitTimeouts: s.queueTimeouts.Load(),
+		ClientDisconnects:     s.clientGone.Load(),
+		QueryTimeouts:         s.timeouts.Load(),
+		BodyReadTimeouts:      s.bodyTimeouts.Load(),
+		PanicsRecovered:       fault.Recovered(),
+		InternalErrors:        s.internalErrors.Load(),
+		StreamChunkQueueDepth: plan.StreamQueueDepth(),
+		QuerySeconds:          float64(s.queryNanos.Load()) / float64(time.Second),
+		DB:                    s.db.Stats(),
 	})
 }
 
@@ -453,21 +580,97 @@ type queryResponse struct {
 // helper (decode failure, validation error) — the caller just returns.
 var errHandled = errors.New("server: response already written")
 
-// admit takes an inflight-admission slot, writing the 429 and
-// returning false when the server is at its cap. The caller must
-// release the slot with s.inflight.Add(-1). Admission runs before the
-// (up to maxBodyBytes) body is even read: the cap exists to shed work
-// under overload, so an over-limit request must not cost a 16MB
-// decode on its way to the 429.
-func (s *Server) admit(w http.ResponseWriter) bool {
-	if n := s.inflight.Add(1); s.maxInflight > 0 && n > s.maxInflight {
-		s.inflight.Add(-1)
-		s.rejected.Add(1)
-		writeError(w, http.StatusTooManyRequests,
-			"server is at its inflight query limit (%d); retry later", s.maxInflight)
-		return false
+// retryAfterSeconds is the Retry-After hint on overload responses
+// (429 queue-full, 503 wait-expired, 504 timeout): how long a
+// well-behaved client should back off before retrying. One slot
+// turnover is the honest estimate — the configured query timeout when
+// there is one, else a nominal second.
+func (s *Server) retryAfterSeconds() int {
+	if s.queryTimeout > 0 {
+		if secs := int(math.Ceil(s.queryTimeout.Seconds())); secs > 0 {
+			return secs
+		}
 	}
-	return true
+	return 1
+}
+
+// writeOverload answers an overload rejection: Retry-After plus the
+// JSON error body.
+func (s *Server) writeOverload(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, status, format, args...)
+}
+
+// admit takes an inflight-admission slot, returning its release (to
+// be called exactly once) — or ok=false with the rejection already
+// written. Admission runs before the (up to maxBodyBytes) body is
+// even read: the cap exists to shed work under overload, so an
+// over-limit request must not cost a 16MB decode on its way to the
+// 429.
+//
+// At the cap the request bounces straight to 429 unless
+// WithAdmissionWait configured a queue; then up to admissionQueue
+// requests wait — bounded by admissionWait and by the request's own
+// deadline — for a slot to free. A wait that expires answers 503, a
+// client that hangs up while queued 499, and an over-full queue 429;
+// all overload statuses carry Retry-After.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.slots == nil {
+		s.inflight.Add(1)
+		return func() { s.inflight.Add(-1) }, true
+	}
+	granted := func() func() {
+		s.inflight.Add(1)
+		return func() {
+			s.inflight.Add(-1)
+			<-s.slots
+		}
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return granted(), true
+	default:
+	}
+
+	wait := s.admissionWait
+	if dl, hasDL := r.Context().Deadline(); hasDL {
+		// Deadline-aware: never hold a request in the queue past the
+		// point where its caller has already given up.
+		if remaining := time.Until(dl); remaining < wait {
+			wait = remaining
+		}
+	}
+	if s.admissionQueue <= 0 || wait <= 0 {
+		s.rejected.Add(1)
+		s.writeOverload(w, http.StatusTooManyRequests,
+			"server is at its inflight query limit (%d); retry later", s.maxInflight)
+		return nil, false
+	}
+	if n := s.queuedNow.Add(1); n > int64(s.admissionQueue) {
+		s.queuedNow.Add(-1)
+		s.rejected.Add(1)
+		s.writeOverload(w, http.StatusTooManyRequests,
+			"server is at its inflight query limit (%d) and the admission queue is full; retry later", s.maxInflight)
+		return nil, false
+	}
+	s.queuedTotal.Add(1)
+	defer s.queuedNow.Add(-1)
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return granted(), true
+	case <-timer.C:
+		s.rejected.Add(1)
+		s.queueTimeouts.Add(1)
+		s.writeOverload(w, http.StatusServiceUnavailable,
+			"no query slot freed within %s; retry later", wait.Round(time.Millisecond))
+		return nil, false
+	case <-r.Context().Done():
+		s.clientGone.Add(1)
+		writeError(w, StatusClientClosedRequest, "client closed request while queued for admission")
+		return nil, false
+	}
 }
 
 // slotContext budgets one admission slot: it bounds the request's
@@ -491,10 +694,12 @@ func (s *Server) slotContext(w http.ResponseWriter, r *http.Request) (context.Co
 }
 
 // classifyQueryError writes the error response for a failed query:
-// 499 when the client hung up, 504 on the query timeout, 400
-// otherwise. Counts accordingly.
+// 499 when the client hung up, 504 on the query timeout (with a
+// Retry-After hint), 500 for a contained panic, 400 otherwise. Counts
+// accordingly.
 func (s *Server) classifyQueryError(w http.ResponseWriter, r *http.Request, err error) {
 	s.queryErrors.Add(1)
+	var internal *fault.InternalError
 	canceled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	switch {
 	case canceled && r.Context().Err() != nil:
@@ -507,14 +712,21 @@ func (s *Server) classifyQueryError(w http.ResponseWriter, r *http.Request, err 
 		writeError(w, StatusClientClosedRequest, "client closed request: %v", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "query exceeded the %s timeout", s.queryTimeout)
+		s.writeOverload(w, http.StatusGatewayTimeout, "query exceeded the %s timeout", s.queryTimeout)
+	case errors.As(err, &internal):
+		// A panic contained at a deeper boundary (parshard, qcache
+		// leader, stream producer): one failed query, process intact.
+		s.internalErrors.Add(1)
+		log.Printf("hummerd: query failed on contained panic: %v\n%s", internal, internal.Stack)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	releaseSlot, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 
@@ -524,7 +736,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// admission capacity while the DB sits idle.
 	var req queryRequest
 	res, err := func() (*hummer.Result, error) {
-		defer s.inflight.Add(-1)
+		defer releaseSlot()
 		ctx, release := s.slotContext(w, r)
 		defer release()
 		if !s.decodeBody(w, r, &req) {
@@ -533,6 +745,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if strings.TrimSpace(req.SQL) == "" {
 			writeError(w, http.StatusBadRequest, "sql is required")
 			return nil, errHandled
+		}
+		if err := faultinject.Hit(faultinject.SiteServerQuery); err != nil {
+			return nil, err
 		}
 
 		// The query runs under the request context — a hung-up client
@@ -618,10 +833,11 @@ type streamRecord struct {
 // The admission slot is held for the whole stream — the query
 // executes as the response is written.
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	releaseSlot, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
-	defer s.inflight.Add(-1)
+	defer releaseSlot()
 	ctx, release := s.slotContext(w, r)
 	defer release()
 
@@ -631,6 +847,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	if strings.TrimSpace(req.SQL) == "" {
 		writeError(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+	if err := faultinject.Hit(faultinject.SiteServerStream); err != nil {
+		s.classifyQueryError(w, r, err)
 		return
 	}
 
@@ -691,10 +911,16 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	case rows.Err() != nil:
 		err := rows.Err()
 		s.queryErrors.Add(1)
+		var internal *fault.InternalError
 		if errors.Is(err, context.DeadlineExceeded) {
 			s.timeouts.Add(1)
 		} else if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
 			s.clientGone.Add(1)
+		} else if errors.As(err, &internal) {
+			// The producer contained a panic mid-stream; the status is
+			// committed, so the containment surfaces as the in-band
+			// error trailer.
+			s.internalErrors.Add(1)
 		}
 		_ = enc.Encode(streamRecord{Type: "error", Error: err.Error()})
 	default:
@@ -744,13 +970,19 @@ type batchResponse struct {
 // always 200 when the batch itself was well-formed; per-statement
 // failures live in the results.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	releaseSlot, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 
 	var resp batchResponse
 	err := func() error {
-		defer s.inflight.Add(-1)
+		defer releaseSlot()
+		if err := faultinject.Hit(faultinject.SiteServerBatch); err != nil {
+			s.queryErrors.Add(1)
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return errHandled
+		}
 		// Unlike /v1/query, the slot deadline bounds only the body
 		// read here; each statement then runs under its own deadline
 		// over the request's context. The deadline (and the
@@ -869,6 +1101,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("hummer_batch_requests_total", "Batch requests executed via /v1/batch.", s.batchRequests.Load())
 	counter("hummer_batch_statements_total", "Statements executed inside /v1/batch requests.", s.batchStatements.Load())
 	counter("hummer_batch_statement_errors_total", "Batch statements that failed (each statement fails independently).", s.batchErrors.Load())
+	counter("hummer_panics_recovered_total", "Panics contained anywhere in the process and converted to internal errors.", fault.Recovered())
+	counter("hummer_internal_errors_total", "Requests that failed on a contained panic (HTTP 500 or an error trailer).", s.internalErrors.Load())
+	counter("hummer_admission_waits_total", "Requests that queued for an admission slot.", s.queuedTotal.Load())
+	counter("hummer_admission_wait_timeouts_total", "Admission waits that expired into a 503.", s.queueTimeouts.Load())
+	gauge("hummer_admission_waiters", "Requests queued for an admission slot right now.", float64(s.queuedNow.Load()))
+	gauge("hummer_stream_chunk_queue_depth", "Stream row chunks buffered between producers and consumers right now.", float64(plan.StreamQueueDepth()))
 	gauge("hummer_inflight_queries", "Queries executing right now.", float64(s.inflight.Load()))
 	gauge("hummer_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
 

@@ -10,6 +10,7 @@ import (
 
 	"hummer/internal/qcache"
 	"hummer/internal/relation"
+	"hummer/internal/testutil"
 )
 
 const streamFuseQuery = `SELECT Name, RESOLVE(Age, max)
@@ -206,7 +207,7 @@ func TestQueryRowsCancelMidStreamJoins(t *testing.T) {
 	if err := rows.Close(); err != nil {
 		t.Fatal(err)
 	}
-	waitForGoroutines(t, before+2)
+	testutil.WaitForGoroutines(t, before+2)
 
 	// The DB remains fully usable.
 	db.OnCorrespondences(nil)
