@@ -11,6 +11,8 @@
 #                  delays at every layer.
 #   make serve   — launch hummerd on the quickstart example sources.
 #   make bench   — the full benchmark suite (longer).
+#   make loadtest — fixed-seed closed-loop loadgen smoke + burst
+#                  admission tests against an in-process hummerd.
 #   make fmt     — rewrite files with gofmt.
 
 GO ?= go
@@ -28,9 +30,9 @@ RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
 COVER_FLOOR = 70
 
-.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short serve
+.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short serve loadtest
 
-check: fmtcheck vet build test race race-stream chaos cover bench-short
+check: fmtcheck vet build test race race-stream chaos cover bench-short loadtest
 
 fmtcheck:
 	@unformatted=$$(gofmt -l .); \
@@ -106,3 +108,10 @@ bench-short:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Production-traffic smoke: the loadgen harness drives its fixed-seed
+# closed-loop mix (and a deliberate overload burst) at an in-process
+# hummerd — non-zero throughput, per-class percentiles, Retry-After on
+# every overload response, and the /metrics histograms must all hold.
+loadtest:
+	$(GO) test -count=1 -run 'TestLoadgenSmoke|TestBurstAdmission' ./internal/loadgen

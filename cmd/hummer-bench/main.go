@@ -12,13 +12,16 @@
 //	hummer-bench -exp e12 -sizes 1000,5000,20000   # full scale-up
 //
 // The -json artifact records, per experiment, its wall-clock cost and
-// table, plus the machine-readable samples (timings and
-// duplicate-detection comparison counters) some experiments attach —
-// the perf trajectory of the repo is tracked through these files.
+// table, plus the machine-readable samples (timings,
+// duplicate-detection comparison counters, loadgen class results)
+// some experiments attach — the perf trajectory of the repo is
+// tracked through these files. Writing into an existing same-day
+// artifact MERGES: entries with the same experiment id are replaced,
+// others are kept, so `hummer-bench -json -exp e14` after a full run
+// refreshes one table instead of erasing twelve.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,25 +32,6 @@ import (
 
 	"hummer/internal/experiments"
 )
-
-// artifact is the schema of a BENCH_<date>.json file.
-type artifact struct {
-	Date        string  `json:"date"`
-	Seed        int64   `json:"seed"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	GoVersion   string  `json:"go_version"`
-	TotalSecond float64 `json:"total_seconds"`
-	Experiments []entry `json:"experiments"`
-}
-
-type entry struct {
-	ID      string                    `json:"id"`
-	Title   string                    `json:"title"`
-	Seconds float64                   `json:"seconds"`
-	Header  []string                  `json:"header"`
-	Rows    [][]string                `json:"rows"`
-	Samples []experiments.BenchSample `json:"samples,omitempty"`
-}
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (e.g. e5); empty runs all: "+
@@ -70,7 +54,7 @@ func main() {
 	}
 
 	var reports []*experiments.Report
-	var entries []entry
+	var entries []experiments.ArtifactEntry
 	t0 := time.Now()
 	run := func(gen func() *experiments.Report) {
 		s0 := time.Now()
@@ -80,10 +64,7 @@ func main() {
 			return
 		}
 		reports = append(reports, rep)
-		entries = append(entries, entry{
-			ID: rep.ID, Title: rep.Title, Seconds: secs,
-			Header: rep.Header, Rows: rep.Rows, Samples: rep.Samples,
-		})
+		entries = append(entries, experiments.EntryFor(rep, secs))
 	}
 
 	switch {
@@ -120,29 +101,24 @@ func main() {
 	}
 
 	if *jsonOut {
-		art := artifact{
-			Date:        time.Now().Format("2006-01-02"),
-			Seed:        *seed,
-			GoMaxProcs:  runtime.GOMAXPROCS(0),
-			GoVersion:   runtime.Version(),
-			TotalSecond: time.Since(t0).Seconds(),
-			Experiments: entries,
+		art := &experiments.Artifact{
+			Date:         time.Now().Format("2006-01-02"),
+			Seed:         *seed,
+			GoMaxProcs:   runtime.GOMAXPROCS(0),
+			GoVersion:    runtime.Version(),
+			TotalSeconds: time.Since(t0).Seconds(),
+			Experiments:  entries,
 		}
 		path := *outPath
 		if path == "" {
 			path = "BENCH_" + art.Date + ".json"
 		}
-		data, err := json.MarshalIndent(art, "", "  ")
+		n, err := experiments.WriteMerged(path, art)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hummer-bench:", err)
 			os.Exit(1)
 		}
-		data = append(data, '\n')
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "hummer-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "hummer-bench: wrote %s\n", path)
+		fmt.Fprintf(os.Stderr, "hummer-bench: wrote %s (%d experiments)\n", path, n)
 	}
 }
 

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Artifact is the schema of a BENCH_<date>.json perf-trajectory
+// file: one run's (or one day's merged runs') experiment tables and
+// machine-readable samples. cmd/hummer-bench and cmd/hummer-loadgen
+// both write through this type so that a day's artifact accumulates
+// experiments instead of each tool clobbering the other's results.
+type Artifact struct {
+	Date       string `json:"date"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// TotalSeconds accumulates the wall-clock cost of every run merged
+	// into this file, not just the latest one.
+	TotalSeconds float64         `json:"total_seconds"`
+	Experiments  []ArtifactEntry `json:"experiments"`
+}
+
+// ArtifactEntry is one experiment in the artifact.
+type ArtifactEntry struct {
+	ID      string        `json:"id"`
+	Title   string        `json:"title"`
+	Seconds float64       `json:"seconds"`
+	Header  []string      `json:"header"`
+	Rows    [][]string    `json:"rows"`
+	Samples []BenchSample `json:"samples,omitempty"`
+}
+
+// EntryFor converts a finished report (with its wall-clock cost) into
+// an artifact entry.
+func EntryFor(rep *Report, seconds float64) ArtifactEntry {
+	return ArtifactEntry{
+		ID: rep.ID, Title: rep.Title, Seconds: seconds,
+		Header: rep.Header, Rows: rep.Rows, Samples: rep.Samples,
+	}
+}
+
+// LoadArtifact reads an existing artifact. A missing file is not an
+// error — it returns (nil, nil) and the caller starts fresh. A file
+// that exists but does not parse as an artifact IS an error: writing
+// over it would silently destroy someone's data, so the caller should
+// surface the problem (and suggest -out to write elsewhere).
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	var art Artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("%s exists but is not a benchmark artifact (%v); refusing to overwrite it — pass -out to write elsewhere", path, err)
+	}
+	return &art, nil
+}
+
+// Merge folds a new run into an existing same-day artifact: entries
+// with the same experiment ID are replaced in place (the newest
+// measurement wins), new IDs are appended, the run metadata (seed,
+// gomaxprocs, go version, date) reflects the latest run, and the
+// total cost accumulates. A nil receiver merges into a copy of run —
+// so `existing.Merge(run)` handles the missing-file case uniformly.
+func (a *Artifact) Merge(run *Artifact) *Artifact {
+	if a == nil {
+		cp := *run
+		return &cp
+	}
+	merged := *run
+	merged.TotalSeconds = a.TotalSeconds + run.TotalSeconds
+	merged.Experiments = append([]ArtifactEntry(nil), a.Experiments...)
+	for _, e := range run.Experiments {
+		replaced := false
+		for i, old := range merged.Experiments {
+			if strings.EqualFold(old.ID, e.ID) {
+				merged.Experiments[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged.Experiments = append(merged.Experiments, e)
+		}
+	}
+	return &merged
+}
+
+// Write stores the artifact as indented JSON.
+func (a *Artifact) Write(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// WriteMerged is the one-call flow both binaries use: load whatever
+// artifact already sits at path, fold the run in, and write the
+// result back. Returns the number of experiments in the final file.
+func WriteMerged(path string, run *Artifact) (int, error) {
+	existing, err := LoadArtifact(path)
+	if err != nil {
+		return 0, err
+	}
+	merged := existing.Merge(run)
+	if err := merged.Write(path); err != nil {
+		return 0, err
+	}
+	return len(merged.Experiments), nil
+}

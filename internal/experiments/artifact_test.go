@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestArtifactMerge: same-day runs accumulate into one artifact —
+// same-ID entries are replaced, new ones appended, the total cost
+// adds up, and the metadata tracks the latest run.
+func TestArtifactMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-01-01.json")
+
+	runA := &Artifact{
+		Date: "2026-01-01", Seed: 1, GoMaxProcs: 1, GoVersion: "go1.24.0",
+		TotalSeconds: 2,
+		Experiments: []ArtifactEntry{
+			{ID: "E3", Title: "first", Seconds: 1},
+			{ID: "E14", Title: "serving", Seconds: 1},
+		},
+	}
+	if n, err := WriteMerged(path, runA); err != nil || n != 2 {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+
+	runB := &Artifact{
+		Date: "2026-01-01", Seed: 9, GoMaxProcs: 4, GoVersion: "go1.24.0",
+		TotalSeconds: 3,
+		Experiments: []ArtifactEntry{
+			{ID: "e14", Title: "serving, remeasured", Seconds: 2},
+			{ID: "E16", Title: "loadgen", Seconds: 1},
+		},
+	}
+	if n, err := WriteMerged(path, runB); err != nil || n != 3 {
+		t.Fatalf("merge write: n=%d err=%v", n, err)
+	}
+
+	got, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 9 || got.GoMaxProcs != 4 {
+		t.Errorf("metadata not from the latest run: %+v", got)
+	}
+	if got.TotalSeconds != 5 {
+		t.Errorf("TotalSeconds = %v, want 5 (accumulated)", got.TotalSeconds)
+	}
+	var ids, titles []string
+	for _, e := range got.Experiments {
+		ids = append(ids, e.ID)
+		titles = append(titles, e.Title)
+	}
+	if strings.Join(ids, ",") != "E3,e14,E16" {
+		t.Errorf("merged ids = %v, want existing order with E16 appended", ids)
+	}
+	if titles[1] != "serving, remeasured" {
+		t.Errorf("same-ID entry not replaced: %v", titles)
+	}
+}
+
+// TestLoadArtifactMissingAndCorrupt: a missing file starts fresh; a
+// non-artifact file refuses to be overwritten and points at -out.
+func TestLoadArtifactMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if art, err := LoadArtifact(filepath.Join(dir, "nope.json")); art != nil || err != nil {
+		t.Fatalf("missing file: art=%v err=%v, want nil/nil", art, err)
+	}
+
+	bad := filepath.Join(dir, "BENCH_x.json")
+	if err := os.WriteFile(bad, []byte("definitely: not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArtifact(bad); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Fatalf("corrupt file error = %v, want refusal mentioning -out", err)
+	}
+	if _, err := WriteMerged(bad, &Artifact{}); err == nil {
+		t.Fatal("WriteMerged over a corrupt file unexpectedly succeeded")
+	}
+	if data, _ := os.ReadFile(bad); string(data) != "definitely: not json" {
+		t.Fatalf("corrupt file was clobbered: %q", data)
+	}
+}
+
+// TestE16Smoke: the traffic-mix experiment produces a row and a
+// sample per workload class, all percentiles positive.
+func TestE16Smoke(t *testing.T) {
+	rep := E16(2005, 24, 4)
+	if rep == nil || rep.ID != "E16" {
+		t.Fatalf("rep = %+v", rep)
+	}
+	if strings.Contains(rep.Notes, "error") {
+		t.Fatalf("E16 failed: %s", rep.Notes)
+	}
+	if len(rep.Rows) == 0 || len(rep.Samples) != len(rep.Rows) {
+		t.Fatalf("rows=%d samples=%d", len(rep.Rows), len(rep.Samples))
+	}
+	for _, s := range rep.Samples {
+		if s.Load == nil {
+			t.Errorf("sample %s has no load measurement", s.Name)
+			continue
+		}
+		if s.Load.Latency.Count > 0 && s.Load.Latency.P50Seconds <= 0 {
+			t.Errorf("sample %s: p50 = %v", s.Name, s.Load.Latency.P50Seconds)
+		}
+	}
+	if !strings.Contains(rep.Notes, "fingerprint") {
+		t.Errorf("notes missing the schedule fingerprint: %s", rep.Notes)
+	}
+}

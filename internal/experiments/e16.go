@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"hummer"
+	"hummer/internal/loadgen"
+	"hummer/internal/server"
+)
+
+// e16 defaults: enough traffic that every class of the default mix
+// appears with a handful of samples, small enough for `hummer-bench`
+// to stay interactive.
+const (
+	e16Entities    = 60
+	e16Requests    = 96
+	e16Concurrency = 8
+)
+
+// E16 measures hummerd under a production-shaped traffic mix: the
+// hummer-loadgen harness drives a seeded closed-loop schedule of warm
+// and cold fusion queries, materialized and streamed scans, streamed
+// fusions and batches against an in-process server, and reports
+// per-class latency percentiles plus time-to-first-row for the
+// streaming classes. The same schedule seed always produces the same
+// request sequence (the fingerprint in the notes certifies it), so
+// runs of this experiment are comparable across the perf trajectory.
+// cmd/hummer-loadgen emits this same experiment against a live
+// hummerd over the network.
+func E16(seed int64, requests, concurrency int) *Report {
+	fail := func(msg string, err error) *Report {
+		return &Report{ID: "E16", Title: "loadgen traffic mix against hummerd",
+			Notes: msg + ": " + err.Error()}
+	}
+
+	db := hummer.New()
+	ts := httptest.NewServer(server.New(db).Handler())
+	defer ts.Close()
+	ctx := context.Background()
+	if err := loadgen.Setup(ctx, ts.Client(), ts.URL, seed, e16Entities); err != nil {
+		return fail("setup error", err)
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:     ts.URL,
+		Client:      ts.Client(),
+		Seed:        seed,
+		Mode:        loadgen.ModeClosed,
+		Classes:     loadgen.DefaultClasses(),
+		Concurrency: concurrency,
+		Requests:    requests,
+	}
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return fail("run error", err)
+	}
+	return E16Report(res,
+		fmt.Sprintf("in-process hummerd, %d person entities", e16Entities))
+}
+
+// E16Report renders a loadgen result as the E16 experiment table —
+// shared by the in-process run above and by cmd/hummer-loadgen's
+// live-server runs, so both land in BENCH_*.json under the same
+// schema.
+func E16Report(res *loadgen.Result, where string) *Report {
+	rep := &Report{
+		ID: "E16",
+		Title: fmt.Sprintf("loadgen traffic mix (%s, %s-loop, %d requests)",
+			where, res.Mode, res.ScheduleRequests),
+		Header: []string{"class", "endpoint", "requests", "ok", "p50", "p95", "p99", "max", "ttfr p50"},
+		Notes: fmt.Sprintf(
+			"schedule seed %d fingerprint %s (same seed => identical request schedule); cold classes purge the artifact cache before each request (purge excluded from the latency); overall %.1f req/s, statuses %v",
+			res.Seed, res.ScheduleFingerprint, res.ThroughputRPS, res.Statuses),
+	}
+	for i := range res.Classes {
+		cr := res.Classes[i]
+		ttfr := "-"
+		if cr.TTFR != nil {
+			ttfr = fmtSeconds(cr.TTFR.P50Seconds)
+		}
+		rep.Rows = append(rep.Rows, []string{
+			cr.Class, cr.Endpoint,
+			fmt.Sprint(cr.Requests), fmt.Sprint(cr.Latency.Count),
+			fmtSeconds(cr.Latency.P50Seconds), fmtSeconds(cr.Latency.P95Seconds),
+			fmtSeconds(cr.Latency.P99Seconds), fmtSeconds(cr.Latency.MaxSeconds),
+			ttfr,
+		})
+		rep.Samples = append(rep.Samples, BenchSample{
+			Name:    "e16/" + cr.Class,
+			Rows:    int(cr.Rows),
+			Workers: cr.Requests,
+			Seconds: cr.Latency.MeanSeconds * float64(cr.Latency.Count),
+			Load:    &res.Classes[i],
+		})
+	}
+	return rep
+}
+
+// fmtSeconds renders a duration-in-seconds at microsecond-ish
+// precision without trailing noise.
+func fmtSeconds(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}

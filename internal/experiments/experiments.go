@@ -25,6 +25,7 @@ import (
 	"hummer/internal/dupdetect"
 	"hummer/internal/eval"
 	"hummer/internal/fusion"
+	"hummer/internal/loadgen"
 	"hummer/internal/metadata"
 	"hummer/internal/qcache"
 	"hummer/internal/relation"
@@ -55,6 +56,9 @@ type BenchSample struct {
 	Workers int             `json:"workers"`
 	Seconds float64         `json:"seconds"`
 	Stats   dupdetect.Stats `json:"stats"`
+	// Load carries a loadgen per-class measurement (statuses, latency
+	// and time-to-first-row percentiles) for the traffic experiments.
+	Load *loadgen.ClassResult `json:"load,omitempty"`
 }
 
 // String renders the report as an aligned text table.
@@ -989,6 +993,7 @@ func All(seed int64) []*Report {
 		E13(seed, e13QuickSizes),
 		E14(seed, e14Entities, e14WarmQueries, e14Clients),
 		E15(seed, e15QuickSizes),
+		E16(seed, e16Requests, e16Concurrency),
 	}
 }
 
@@ -1021,6 +1026,8 @@ func ByID(id string, seed int64) *Report {
 		return E14(seed, e14Entities, e14WarmQueries, e14Clients)
 	case "e15":
 		return E15(seed, e15QuickSizes)
+	case "e16":
+		return E16(seed, e16Requests, e16Concurrency)
 	default:
 		return nil
 	}
@@ -1028,7 +1035,7 @@ func ByID(id string, seed int64) *Report {
 
 // IDs lists the experiment ids ByID accepts, in canonical run order.
 func IDs() []string {
-	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"}
+	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
 }
 
 func minInt(a, b int) int {

@@ -1,0 +1,185 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hummer"
+	"hummer/internal/server"
+)
+
+// overloadStats is the slice of /v1/stats the burst test reconciles
+// against the client-side counts.
+type overloadStats struct {
+	RejectedQueries       uint64 `json:"rejected_queries"`
+	AdmissionWaitTimeouts uint64 `json:"admission_wait_timeouts"`
+	ClientDisconnects     uint64 `json:"client_disconnects"`
+}
+
+func readStats(t *testing.T, client *http.Client, baseURL string) overloadStats {
+	t.Helper()
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st overloadStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("stats: %v in %s", err, body)
+	}
+	return st
+}
+
+// TestBurstAdmission drives a burst through the loadgen library at a
+// server with a single query slot and a tiny admission queue, and
+// asserts the full overload alphabet appears — 200 (admitted), 429
+// (queue full), 503 (admission wait expired), and client-side
+// cancellations (the server's 499) — that every overload response
+// carried Retry-After, and that the server's own overload counters
+// reconcile exactly with what the clients saw.
+func TestBurstAdmission(t *testing.T) {
+	db := hummer.New()
+	// A wizard hook pins the service time: hooks run on every query
+	// (even cache-warm ones) and disable the fused-result cache, so
+	// each admitted fusion holds the slot for ~60ms.
+	db.OnCorrespondences(func(alias string, proposed []hummer.Correspondence) []hummer.Correspondence {
+		time.Sleep(60 * time.Millisecond)
+		return proposed
+	})
+	ts := newBurstTarget(t, db)
+	client := ts.Client()
+	ctx := context.Background()
+	if err := Setup(ctx, client, ts.URL, 5, 12); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1 — saturation: 8 closed-loop workers against 1 slot + a
+	// 1-deep queue with a 40ms wait, service time 60ms. The first wave
+	// alone pins the outcome set: one worker takes the slot (an
+	// eventual 200), one queues and times out at 40ms < 60ms (503),
+	// the rest bounce off the full queue (429).
+	satRes, err := Run(ctx, Config{
+		BaseURL:     ts.URL,
+		Client:      client,
+		Seed:        5,
+		Mode:        ModeClosed,
+		Classes:     []Class{{Name: "burst_fuse", Endpoint: EndpointQuery, SQL: FuseSQL, Weight: 1}},
+		Concurrency: 8,
+		Requests:    40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range []string{"200", "429", "503"} {
+		if satRes.Statuses[code] == 0 {
+			t.Errorf("saturation phase produced no %s: %v", code, satRes.Statuses)
+		}
+	}
+	for code := range satRes.Statuses {
+		switch code {
+		case "200", "429", "503":
+		default:
+			t.Errorf("saturation phase produced unexpected status %q: %v", code, satRes.Statuses)
+		}
+	}
+
+	// Phase 2 — hangups: clients with a 15ms budget against the 60ms
+	// service. An admitted request is cancelled mid-pipeline, a queued
+	// one while waiting; either way the client walks away and the
+	// server records a 499.
+	hangRes, err := Run(ctx, Config{
+		BaseURL: ts.URL,
+		Client:  client,
+		Seed:    6,
+		Mode:    ModeClosed,
+		Classes: []Class{{Name: "hangup_fuse", Endpoint: EndpointQuery, SQL: FuseSQL,
+			Weight: 1, Timeout: 15 * time.Millisecond}},
+		Concurrency: 2,
+		Requests:    6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hangRes.Statuses["canceled"] == 0 {
+		t.Errorf("hangup phase produced no cancellations: %v", hangRes.Statuses)
+	}
+	for code := range hangRes.Statuses {
+		switch code {
+		case "canceled", "429":
+		default:
+			t.Errorf("hangup phase produced unexpected status %q: %v", code, hangRes.Statuses)
+		}
+	}
+
+	// Exactly the advertised status mix across the burst, and not one
+	// overload response without a Retry-After hint.
+	total := map[string]int{}
+	missing := 0
+	for _, res := range []*Result{satRes, hangRes} {
+		for code, n := range res.Statuses {
+			total[code] += n
+		}
+		for _, cr := range res.Classes {
+			missing += cr.RetryAfterMissing
+		}
+	}
+	for _, code := range []string{"200", "429", "503", "canceled"} {
+		if total[code] == 0 {
+			t.Errorf("burst never produced %s: %v", code, total)
+		}
+	}
+	if len(total) != 4 {
+		t.Errorf("burst status mix = %v, want exactly {200, 429, 503, canceled}", total)
+	}
+	if missing != 0 {
+		t.Errorf("%d overload responses arrived without Retry-After", missing)
+	}
+
+	// The server's ledger must agree with the clients'. Three exact
+	// invariants (the disconnect bookkeeping lands after the abandoned
+	// pipeline unwinds, so poll):
+	//   rejected = client 429s + wait timeouts   (503s increment both)
+	//   wait timeouts >= client 503s             (each received 503 was one)
+	//   wait timeouts + disconnects = client 503s + cancellations
+	// The last is an equality rather than per-counter matches because
+	// a client that hangs up while queued races the server's wait
+	// timer: the server records a disconnect or — if the timer fires
+	// before it notices the closed connection — a 503 written to a
+	// dead socket. Either way the request lands in exactly one of the
+	// two counters.
+	wantOverload := uint64(total["503"] + total["canceled"])
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := readStats(t, client, ts.URL)
+		if st.RejectedQueries == uint64(total["429"])+st.AdmissionWaitTimeouts &&
+			st.AdmissionWaitTimeouts >= uint64(total["503"]) &&
+			st.AdmissionWaitTimeouts+st.ClientDisconnects == wantOverload {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server counters never reconciled: got %+v, client saw %v", st, total)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// newBurstTarget serves the DB behind one query slot and a 1-deep,
+// 40ms admission queue — the smallest server that can produce every
+// overload status.
+func newBurstTarget(t *testing.T, db *hummer.DB) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(db,
+		server.WithMaxInflight(1),
+		server.WithAdmissionWait(1, 40*time.Millisecond)).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}

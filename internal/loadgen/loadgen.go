@@ -1,0 +1,560 @@
+// Package loadgen drives realistic concurrent traffic against a live
+// hummerd over HTTP and measures what the server microbenchmarks
+// cannot: per-class latency distributions (p50/p95/p99, plus
+// time-to-first-row for NDJSON streams), error and overload class
+// counts, and throughput — under open-loop (Poisson or constant-rate
+// arrivals, optionally ramped through phases) or closed-loop (fixed
+// concurrency) load.
+//
+// The request schedule is generated up front from a seed: the same
+// seed always produces the identical sequence of (arrival offset,
+// class) pairs, so two runs against the same server are directly
+// comparable and a schedule can be fingerprinted into the benchmark
+// trajectory. What is NOT deterministic is the measured side — the
+// interleaving of closed-loop workers and every latency — which is
+// the point: the schedule is the controlled variable, the latencies
+// are the experiment.
+//
+// Workload shapes follow the open/closed-loop arrival-generation
+// design of inference-sim's workload package; measurement discipline
+// (seeded schedules, explicit status accounting) follows the BLIS
+// experiment standards: statistical hypotheses need >= 3 seeds and a
+// >20% directional effect across all of them before they count.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint selects which hummerd API a class exercises.
+type Endpoint string
+
+const (
+	// EndpointQuery posts to /v1/query (materialized response).
+	EndpointQuery Endpoint = "query"
+	// EndpointStream posts to /v1/query/stream (NDJSON rows); the
+	// class records time-to-first-row.
+	EndpointStream Endpoint = "stream"
+	// EndpointBatch posts to /v1/batch (several statements, one slot).
+	EndpointBatch Endpoint = "batch"
+)
+
+// Class is one kind of request in the workload mix.
+type Class struct {
+	// Name labels the class in results ("warm_fuse", "select_stream").
+	Name string `json:"name"`
+	// Endpoint selects the API.
+	Endpoint Endpoint `json:"endpoint"`
+	// SQL is the statement (query/stream endpoints).
+	SQL string `json:"sql,omitempty"`
+	// Statements is the batch payload (batch endpoint).
+	Statements []string `json:"statements,omitempty"`
+	// Lineage requests per-cell provenance.
+	Lineage bool `json:"lineage,omitempty"`
+	// Weight is the class's relative frequency in the mix; 0 drops it.
+	Weight int `json:"weight"`
+	// Purge empties the server's artifact cache immediately before
+	// each request of this class — the cold-cache class. The purge is
+	// not part of the measured latency, but note that under concurrent
+	// load it also chills every other class's next cache lookup.
+	Purge bool `json:"purge,omitempty"`
+	// Timeout cancels the request client-side after this long (0 =
+	// none). Cancelled requests are recorded under the "canceled"
+	// status — the server logs them as 499s.
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// Mode is the arrival discipline.
+type Mode string
+
+const (
+	// ModeClosed runs a fixed number of concurrent workers, each
+	// issuing its next request as soon as the previous one completes —
+	// throughput-bounded, the classic benchmark loop.
+	ModeClosed Mode = "closed"
+	// ModeOpen fires requests at scheduled wall-clock offsets
+	// regardless of completions — latency under a given offered load,
+	// the discipline that actually surfaces queueing delay.
+	ModeOpen Mode = "open"
+)
+
+// Arrival is the open-loop interarrival process.
+type Arrival string
+
+const (
+	// ArrivalPoisson draws exponential interarrivals (memoryless
+	// arrivals at the phase rate).
+	ArrivalPoisson Arrival = "poisson"
+	// ArrivalConstant spaces arrivals exactly 1/rate apart.
+	ArrivalConstant Arrival = "constant"
+)
+
+// Phase is one segment of an open-loop ramp profile: hold rate
+// requests/second for Duration.
+type Phase struct {
+	Duration time.Duration `json:"duration"`
+	Rate     float64       `json:"rate"`
+}
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL roots the target server ("http://127.0.0.1:8080").
+	BaseURL string
+	// Client is the HTTP client to use; nil uses a dedicated client
+	// with no global timeout (per-class timeouts still apply).
+	Client *http.Client
+	// Seed determines the request schedule completely.
+	Seed int64
+	// Mode selects closed- or open-loop arrivals.
+	Mode Mode
+	// Classes is the workload mix; entries with Weight <= 0 are
+	// dropped.
+	Classes []Class
+
+	// Concurrency and Requests configure ModeClosed: Concurrency
+	// workers drain a schedule of Requests requests.
+	Concurrency int
+	Requests    int
+
+	// Arrival and Phases configure ModeOpen: each phase holds its rate
+	// for its duration. A run's request count follows from the seeded
+	// draw, not from Requests.
+	Arrival Arrival
+	Phases  []Phase
+}
+
+// Request is one scheduled request: which class, and (open loop) when
+// to fire relative to the run's start.
+type Request struct {
+	Index int           `json:"index"`
+	Class int           `json:"class"`
+	At    time.Duration `json:"at"`
+}
+
+// Schedule generates the run's deterministic request schedule from
+// the seed. Calling it twice with the same Config yields identical
+// schedules; Run uses exactly this schedule.
+func Schedule(cfg Config) ([]Request, error) {
+	classes := activeClasses(cfg.Classes)
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("loadgen: no class has a positive weight")
+	}
+	total := 0
+	for _, c := range classes {
+		total += cfg.Classes[c].Weight
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := func() int {
+		n := rng.Intn(total)
+		for _, c := range classes {
+			if n -= cfg.Classes[c].Weight; n < 0 {
+				return c
+			}
+		}
+		return classes[len(classes)-1]
+	}
+
+	switch cfg.Mode {
+	case ModeClosed, "":
+		if cfg.Requests <= 0 {
+			return nil, fmt.Errorf("loadgen: closed-loop mode needs Requests > 0")
+		}
+		out := make([]Request, cfg.Requests)
+		for i := range out {
+			out[i] = Request{Index: i, Class: pick()}
+		}
+		return out, nil
+	case ModeOpen:
+		if len(cfg.Phases) == 0 {
+			return nil, fmt.Errorf("loadgen: open-loop mode needs at least one phase")
+		}
+		var out []Request
+		base := time.Duration(0)
+		for pi, ph := range cfg.Phases {
+			if ph.Rate <= 0 || ph.Duration <= 0 {
+				return nil, fmt.Errorf("loadgen: phase %d needs positive rate and duration", pi)
+			}
+			t := time.Duration(0)
+			for {
+				var gap time.Duration
+				switch cfg.Arrival {
+				case ArrivalConstant:
+					gap = time.Duration(float64(time.Second) / ph.Rate)
+				case ArrivalPoisson, "":
+					gap = time.Duration(rng.ExpFloat64() * float64(time.Second) / ph.Rate)
+				default:
+					return nil, fmt.Errorf("loadgen: unknown arrival process %q", cfg.Arrival)
+				}
+				t += gap
+				if t >= ph.Duration {
+					break
+				}
+				out = append(out, Request{Index: len(out), Class: pick(), At: base + t})
+			}
+			base += ph.Duration
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("loadgen: schedule is empty (rate too low for the phase durations)")
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %q", cfg.Mode)
+	}
+}
+
+// Fingerprint hashes a schedule (indices, classes, offsets) to a
+// stable hex token: equal fingerprints certify identical request
+// schedules, the determinism half of a repeatable load experiment.
+func Fingerprint(schedule []Request) string {
+	h := fnv.New64a()
+	var buf [8 * 3]byte
+	for _, r := range schedule {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(r.Index))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(r.Class))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(r.At))
+		_, _ = h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func activeClasses(classes []Class) []int {
+	var out []int
+	for i, c := range classes {
+		if c.Weight > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	class    int
+	status   int  // HTTP status; 0 when the request never got one
+	canceled bool // client-side timeout fired
+	failed   bool // transport error other than cancellation
+	latency  time.Duration
+	ttfr     time.Duration // time to first row record; < 0 when none
+	rows     int64
+	noRetry  bool // overload status without a Retry-After header
+}
+
+// Quantiles summarizes a latency sample set (nearest-rank
+// percentiles over the successful requests).
+type Quantiles struct {
+	Count       int     `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+func quantiles(secs []float64) Quantiles {
+	q := Quantiles{Count: len(secs)}
+	if len(secs) == 0 {
+		return q
+	}
+	sort.Float64s(secs)
+	sum := 0.0
+	for _, s := range secs {
+		sum += s
+	}
+	rank := func(p float64) float64 {
+		i := int(p*float64(len(secs))+0.9999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(secs) {
+			i = len(secs) - 1
+		}
+		return secs[i]
+	}
+	q.MeanSeconds = sum / float64(len(secs))
+	q.P50Seconds = rank(0.50)
+	q.P95Seconds = rank(0.95)
+	q.P99Seconds = rank(0.99)
+	q.MaxSeconds = secs[len(secs)-1]
+	return q
+}
+
+// ClassResult aggregates one class's requests.
+type ClassResult struct {
+	Class    string `json:"class"`
+	Endpoint string `json:"endpoint"`
+	Requests int    `json:"requests"`
+	// Statuses counts outcomes by HTTP status code ("200", "429", …),
+	// plus "canceled" (client-side timeout; the server's 499) and
+	// "error" (transport failure).
+	Statuses map[string]int `json:"statuses"`
+	// RetryAfterMissing counts overload responses (429/503/504) that
+	// arrived WITHOUT a Retry-After header — always 0 against a
+	// well-behaved hummerd.
+	RetryAfterMissing int `json:"retry_after_missing"`
+	// Rows counts NDJSON row records read (stream classes).
+	Rows int64 `json:"rows"`
+	// Latency summarizes the 2xx requests' total wall clock.
+	Latency Quantiles `json:"latency"`
+	// TTFR summarizes time from request start to the first NDJSON row
+	// record (stream classes with at least one row).
+	TTFR *Quantiles `json:"ttfr,omitempty"`
+}
+
+// Result is one load run's full measurement.
+type Result struct {
+	Seed                int64          `json:"seed"`
+	Mode                string         `json:"mode"`
+	ScheduleRequests    int            `json:"schedule_requests"`
+	ScheduleFingerprint string         `json:"schedule_fingerprint"`
+	ElapsedSeconds      float64        `json:"elapsed_seconds"`
+	ThroughputRPS       float64        `json:"throughput_rps"`
+	Statuses            map[string]int `json:"statuses"`
+	Classes             []ClassResult  `json:"classes"`
+}
+
+// Run executes the seeded schedule against cfg.BaseURL and aggregates
+// the measurements. ctx cancels the whole run (in-flight requests are
+// abandoned and counted as canceled).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	schedule, err := Schedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	samples := make([]sample, len(schedule))
+	start := time.Now()
+
+	switch cfg.Mode {
+	case ModeClosed, "":
+		workers := cfg.Concurrency
+		if workers <= 0 {
+			workers = 1
+		}
+		if workers > len(schedule) {
+			workers = len(schedule)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(schedule) || ctx.Err() != nil {
+						return
+					}
+					samples[i] = execOne(ctx, client, cfg.BaseURL, schedule[i].Class, cfg.Classes[schedule[i].Class])
+				}
+			}()
+		}
+		wg.Wait()
+	case ModeOpen:
+		var wg sync.WaitGroup
+		for _, req := range schedule {
+			if ctx.Err() != nil {
+				break
+			}
+			if d := req.At - time.Since(start); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+				}
+			}
+			wg.Add(1)
+			go func(req Request) {
+				defer wg.Done()
+				samples[req.Index] = execOne(ctx, client, cfg.BaseURL, req.Class, cfg.Classes[req.Class])
+			}(req)
+		}
+		wg.Wait()
+	}
+
+	elapsed := time.Since(start)
+	return aggregate(cfg, schedule, samples, elapsed), nil
+}
+
+func aggregate(cfg Config, schedule []Request, samples []sample, elapsed time.Duration) *Result {
+	res := &Result{
+		Seed:                cfg.Seed,
+		Mode:                string(cfg.Mode),
+		ScheduleRequests:    len(schedule),
+		ScheduleFingerprint: Fingerprint(schedule),
+		ElapsedSeconds:      elapsed.Seconds(),
+		Statuses:            map[string]int{},
+	}
+	if res.Mode == "" {
+		res.Mode = string(ModeClosed)
+	}
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	byClass := map[int][]sample{}
+	for _, s := range samples {
+		byClass[s.class] = append(byClass[s.class], s)
+	}
+	var classIdxs []int
+	for ci := range byClass {
+		classIdxs = append(classIdxs, ci)
+	}
+	sort.Ints(classIdxs)
+	for _, ci := range classIdxs {
+		cl := cfg.Classes[ci]
+		cr := ClassResult{
+			Class:    cl.Name,
+			Endpoint: string(cl.Endpoint),
+			Statuses: map[string]int{},
+		}
+		var oks, ttfrs []float64
+		for _, s := range byClass[ci] {
+			cr.Requests++
+			key := statusKey(s)
+			cr.Statuses[key]++
+			res.Statuses[key]++
+			if s.noRetry {
+				cr.RetryAfterMissing++
+			}
+			cr.Rows += s.rows
+			if s.status >= 200 && s.status < 300 {
+				oks = append(oks, s.latency.Seconds())
+				if s.ttfr >= 0 {
+					ttfrs = append(ttfrs, s.ttfr.Seconds())
+				}
+			}
+		}
+		cr.Latency = quantiles(oks)
+		if len(ttfrs) > 0 {
+			q := quantiles(ttfrs)
+			cr.TTFR = &q
+		}
+		res.Classes = append(res.Classes, cr)
+	}
+	return res
+}
+
+func statusKey(s sample) string {
+	switch {
+	case s.canceled:
+		return "canceled"
+	case s.failed || s.status == 0:
+		return "error"
+	default:
+		return strconv.Itoa(s.status)
+	}
+}
+
+// execOne performs one request of the class and measures it.
+func execOne(ctx context.Context, client *http.Client, baseURL string, classIdx int, cl Class) sample {
+	s := sample{class: classIdx, ttfr: -1}
+	if cl.Purge {
+		// Cold-cache class: drop every cached artifact first. The purge
+		// round-trip is deliberately outside the measured latency.
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, baseURL+"/v1/cache", nil)
+		if err == nil {
+			if resp, err := client.Do(req); err == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+			}
+		}
+	}
+
+	reqCtx := ctx
+	var cancel context.CancelFunc
+	if cl.Timeout > 0 {
+		reqCtx, cancel = context.WithTimeout(ctx, cl.Timeout)
+		defer cancel()
+	}
+
+	var path string
+	var body any
+	switch cl.Endpoint {
+	case EndpointStream:
+		path = "/v1/query/stream"
+		body = map[string]any{"sql": cl.SQL, "lineage": cl.Lineage}
+	case EndpointBatch:
+		path = "/v1/batch"
+		body = map[string]any{"statements": cl.Statements, "lineage": cl.Lineage}
+	default:
+		path = "/v1/query"
+		body = map[string]any{"sql": cl.SQL, "lineage": cl.Lineage}
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		s.failed = true
+		return s
+	}
+
+	start := time.Now()
+	fail := func() sample {
+		s.latency = time.Since(start)
+		if reqCtx.Err() != nil && errors.Is(reqCtx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			s.canceled = true
+		} else {
+			s.failed = true
+		}
+		return s
+	}
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, baseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		s.failed = true
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fail()
+	}
+	defer resp.Body.Close()
+	s.status = resp.StatusCode
+	if isOverload(resp.StatusCode) && resp.Header.Get("Retry-After") == "" {
+		s.noRetry = true
+	}
+
+	if cl.Endpoint == EndpointStream && resp.StatusCode == http.StatusOK {
+		// Read the NDJSON incrementally: the first `"type":"row"` line
+		// stamps time-to-first-row.
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+		for sc.Scan() {
+			if bytes.HasPrefix(sc.Bytes(), []byte(`{"type":"row"`)) {
+				if s.ttfr < 0 {
+					s.ttfr = time.Since(start)
+				}
+				s.rows++
+			}
+		}
+		if sc.Err() != nil {
+			return fail()
+		}
+	} else {
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return fail()
+		}
+	}
+	s.latency = time.Since(start)
+	return s
+}
+
+func isOverload(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}

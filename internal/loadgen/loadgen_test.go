@@ -1,0 +1,256 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hummer"
+	"hummer/internal/server"
+)
+
+// newTarget spins up a hummerd handler over a fresh DB.
+func newTarget(t *testing.T, opts ...server.Option) (*httptest.Server, *hummer.DB) {
+	t.Helper()
+	db := hummer.New()
+	ts := httptest.NewServer(server.New(db, opts...).Handler())
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+// TestScheduleDeterminism: the request schedule is a pure function of
+// the config — same seed, same schedule; different seed, different
+// schedule — in both closed- and open-loop modes.
+func TestScheduleDeterminism(t *testing.T) {
+	closed := Config{Seed: 7, Mode: ModeClosed, Classes: DefaultClasses(), Requests: 100}
+	s1, err := Schedule(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Schedule(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(s1) != Fingerprint(s2) {
+		t.Fatalf("closed-loop schedules diverged: %s vs %s", Fingerprint(s1), Fingerprint(s2))
+	}
+	closed.Seed = 8
+	s3, err := Schedule(closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(s1) == Fingerprint(s3) {
+		t.Fatalf("different seeds produced the same schedule fingerprint %s", Fingerprint(s1))
+	}
+
+	open := Config{Seed: 7, Mode: ModeOpen, Arrival: ArrivalPoisson, Classes: DefaultClasses(),
+		Phases: []Phase{{Duration: time.Second, Rate: 50}, {Duration: time.Second, Rate: 200}}}
+	o1, err := Schedule(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Schedule(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(o1) != Fingerprint(o2) {
+		t.Fatal("open-loop schedules diverged at the same seed")
+	}
+	if len(o1) == 0 {
+		t.Fatal("poisson schedule is empty")
+	}
+	for i := 1; i < len(o1); i++ {
+		if o1[i].At < o1[i-1].At {
+			t.Fatalf("arrival offsets not monotone at %d: %v < %v", i, o1[i].At, o1[i-1].At)
+		}
+	}
+
+	// Constant arrivals are exactly 1/rate apart within a phase.
+	con := Config{Seed: 1, Mode: ModeOpen, Arrival: ArrivalConstant, Classes: DefaultClasses(),
+		Phases: []Phase{{Duration: 100 * time.Millisecond, Rate: 100}}}
+	c1, err := Schedule(con)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1) != 9 { // arrivals at 10ms..90ms; 100ms falls off the phase edge
+		t.Fatalf("constant schedule has %d requests, want 9", len(c1))
+	}
+	for i, r := range c1 {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if r.At != want {
+			t.Fatalf("constant arrival %d at %v, want %v", i, r.At, want)
+		}
+	}
+
+	// Config validation.
+	for _, bad := range []Config{
+		{Mode: ModeClosed, Classes: DefaultClasses()},                                        // no Requests
+		{Mode: ModeOpen, Classes: DefaultClasses()},                                          // no phases
+		{Mode: ModeClosed, Requests: 10},                                                     // no classes
+		{Mode: ModeOpen, Classes: DefaultClasses(), Phases: []Phase{{Rate: 0, Duration: 1}}}, // zero rate
+		{Mode: "jittery", Classes: DefaultClasses(), Requests: 10},                           // unknown mode
+	} {
+		if _, err := Schedule(bad); err == nil {
+			t.Errorf("Schedule(%+v) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+// TestLoadgenSmoke: a fixed-seed closed-loop run against an
+// in-process hummerd completes with nothing but 200s, produces
+// per-class percentiles (with time-to-first-row for the stream
+// classes), and leaves matching per-class histograms on /metrics.
+func TestLoadgenSmoke(t *testing.T) {
+	ts, _ := newTarget(t)
+	ctx := context.Background()
+	const seed = 42
+	if err := Setup(ctx, ts.Client(), ts.URL, seed, 40); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		BaseURL:     ts.URL,
+		Client:      ts.Client(),
+		Seed:        seed,
+		Mode:        ModeClosed,
+		Classes:     DefaultClasses(),
+		Concurrency: 4,
+		Requests:    48,
+	}
+	sched, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The run executed exactly the pre-computed schedule.
+	if res.ScheduleFingerprint != Fingerprint(sched) {
+		t.Errorf("run fingerprint %s != schedule fingerprint %s", res.ScheduleFingerprint, Fingerprint(sched))
+	}
+	if res.ScheduleRequests != cfg.Requests {
+		t.Errorf("schedule_requests = %d, want %d", res.ScheduleRequests, cfg.Requests)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v, want > 0", res.ThroughputRPS)
+	}
+	if got := res.Statuses["200"]; got != cfg.Requests {
+		t.Errorf("statuses = %v, want all %d requests 200", res.Statuses, cfg.Requests)
+	}
+
+	// Every class of the default mix saw traffic (deterministic for
+	// this seed) and has coherent percentiles.
+	if len(res.Classes) != len(cfg.Classes) {
+		t.Fatalf("got %d class results, want %d: %+v", len(res.Classes), len(cfg.Classes), res.Classes)
+	}
+	for _, cr := range res.Classes {
+		if cr.Requests == 0 {
+			t.Errorf("class %s got no requests at seed %d", cr.Class, seed)
+			continue
+		}
+		if cr.Latency.Count != cr.Statuses["200"] {
+			t.Errorf("class %s: latency count %d != 200s %d", cr.Class, cr.Latency.Count, cr.Statuses["200"])
+		}
+		if cr.Latency.P50Seconds <= 0 || cr.Latency.P99Seconds < cr.Latency.P95Seconds ||
+			cr.Latency.P95Seconds < cr.Latency.P50Seconds {
+			t.Errorf("class %s: percentiles not monotone/positive: %+v", cr.Class, cr.Latency)
+		}
+		if cr.RetryAfterMissing != 0 {
+			t.Errorf("class %s: %d overload responses without Retry-After", cr.Class, cr.RetryAfterMissing)
+		}
+		if cr.Endpoint == string(EndpointStream) {
+			if cr.Rows == 0 {
+				t.Errorf("stream class %s read no rows", cr.Class)
+			}
+			if cr.TTFR == nil || cr.TTFR.Count == 0 {
+				t.Errorf("stream class %s has no time-to-first-row samples", cr.Class)
+			} else if cr.TTFR.P50Seconds > cr.Latency.MaxSeconds {
+				t.Errorf("stream class %s: TTFR p50 %v exceeds max latency %v",
+					cr.Class, cr.TTFR.P50Seconds, cr.Latency.MaxSeconds)
+			}
+		}
+	}
+
+	// The server's per-class histograms saw the same traffic.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`hummer_query_duration_seconds_bucket{class="query",le="`,
+		`hummer_query_duration_seconds_bucket{class="stream",le="`,
+		`hummer_query_duration_seconds_bucket{class="batch",le="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing per-class histogram series %q", want)
+		}
+	}
+}
+
+// TestRunOpenLoop: a short constant-rate open-loop run fires the
+// whole schedule and records latencies without workers pacing each
+// other.
+func TestRunOpenLoop(t *testing.T) {
+	ts, _ := newTarget(t)
+	ctx := context.Background()
+	const seed = 11
+	if err := Setup(ctx, ts.Client(), ts.URL, seed, 20); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		BaseURL: ts.URL,
+		Client:  ts.Client(),
+		Seed:    seed,
+		Mode:    ModeOpen,
+		Arrival: ArrivalConstant,
+		Classes: []Class{{Name: "warm_fuse", Endpoint: EndpointQuery, SQL: FuseSQL, Weight: 1}},
+		Phases:  []Phase{{Duration: 300 * time.Millisecond, Rate: 30}},
+	}
+	res, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statuses["200"] != res.ScheduleRequests {
+		t.Fatalf("statuses = %v over %d scheduled", res.Statuses, res.ScheduleRequests)
+	}
+	if res.ElapsedSeconds < 0.2 {
+		t.Errorf("open-loop run finished in %vs, faster than its own schedule", res.ElapsedSeconds)
+	}
+}
+
+// TestSetupIdempotent: running Setup twice replaces the fixture
+// sources instead of failing on alias conflicts.
+func TestSetupIdempotent(t *testing.T) {
+	ts, _ := newTarget(t)
+	ctx := context.Background()
+	if err := Setup(ctx, ts.Client(), ts.URL, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := Setup(ctx, ts.Client(), ts.URL, 3, 10); err != nil {
+		t.Fatalf("second Setup: %v", err)
+	}
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/sources", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, alias := range []string{"lg_s1", "lg_s2", "lg_big"} {
+		if !strings.Contains(string(body), alias) {
+			t.Errorf("sources listing missing %s: %s", alias, body)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hummer/internal/datagen"
+)
+
+// Source aliases the harness registers on the target server. Fresh
+// names keep the load fixture from colliding with anything a human
+// registered on the same hummerd.
+const (
+	aliasLeft  = "lg_s1"
+	aliasRight = "lg_s2"
+	aliasBig   = "lg_big"
+)
+
+// FuseSQL is the fusion statement the fuse-classes run: a two-source
+// FUSE BY with a conflict-resolving RESOLVE, the paper's running
+// shape.
+const FuseSQL = "SELECT Name, RESOLVE(Age, max) FUSE FROM " + aliasLeft + ", " + aliasRight + " FUSE BY (Name) ORDER BY Name"
+
+// SelectSQL is the plain single-table statement (no matching, no
+// duplicate detection) over the large dirty table.
+const SelectSQL = "SELECT * FROM " + aliasBig
+
+// DefaultClasses is the standard workload mix: warm and cold fusion
+// queries, a plain SELECT both materialized and streamed, a streamed
+// fusion, and a batch. Four-plus distinct classes so a single run
+// yields per-class percentiles across the server's whole API surface.
+func DefaultClasses() []Class {
+	return []Class{
+		{Name: "warm_fuse", Endpoint: EndpointQuery, SQL: FuseSQL, Weight: 4},
+		{Name: "cold_fuse", Endpoint: EndpointQuery, SQL: FuseSQL, Weight: 1, Purge: true},
+		{Name: "select_mat", Endpoint: EndpointQuery, SQL: SelectSQL, Weight: 2},
+		{Name: "select_stream", Endpoint: EndpointStream, SQL: SelectSQL, Weight: 2},
+		{Name: "fuse_stream", Endpoint: EndpointStream, SQL: FuseSQL, Weight: 2},
+		{Name: "batch", Endpoint: EndpointBatch, Statements: []string{FuseSQL, SelectSQL}, Weight: 1},
+	}
+}
+
+// Setup registers the load fixture on the target server via inline
+// source registration: two heterogeneous person sources for the
+// fusion classes (lg_s1/lg_s2, the right one with renamed columns)
+// and one large dirty duplicate-ridden table (lg_big) for the scan
+// classes. Deterministic for a given seed; replace semantics make
+// Setup idempotent.
+func Setup(ctx context.Context, client *http.Client, baseURL string, seed int64, entities int) error {
+	if client == nil {
+		client = &http.Client{}
+	}
+	if entities <= 0 {
+		entities = 60
+	}
+	people := datagen.Persons.Generate(seed, entities)
+
+	left := datagen.ObserveShuffled(datagen.Persons, people, datagen.SourceSpec{
+		Alias:    aliasLeft,
+		Coverage: 0.9,
+		TypoRate: 0.05,
+		NullRate: 0.02,
+		Seed:     seed + 1,
+	})
+	right := datagen.ObserveShuffled(datagen.Persons, people, datagen.SourceSpec{
+		Alias: aliasRight,
+		Renames: map[string]string{
+			"Name": "FullName", "Age": "Years", "City": "Town",
+			"Email": "Mail", "Phone": "Tel",
+		},
+		Coverage: 0.9,
+		TypoRate: 0.05,
+		NullRate: 0.02,
+		Seed:     seed + 2,
+	})
+	big := datagen.DirtyTable(datagen.Persons, people, 2, datagen.SourceSpec{
+		Alias:    aliasBig,
+		TypoRate: 0.08,
+		NullRate: 0.05,
+		Seed:     seed + 3,
+	})
+
+	for _, obs := range []*datagen.Observation{left, right, big} {
+		if err := registerInline(ctx, client, baseURL, obs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func registerInline(ctx context.Context, client *http.Client, baseURL string, obs *datagen.Observation) error {
+	rel := obs.Rel
+	cols := rel.Schema().Names()
+	rows := make([][]string, rel.Len())
+	for i := 0; i < rel.Len(); i++ {
+		row := rel.Row(i)
+		cells := make([]string, len(cols))
+		for j := range cols {
+			cells[j] = row[j].Text()
+		}
+		rows[i] = cells
+	}
+	payload, err := json.Marshal(map[string]any{
+		"alias":   rel.Name(),
+		"kind":    "inline",
+		"columns": cols,
+		"rows":    rows,
+		"replace": true,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/sources", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadgen setup: register %s: %w", rel.Name(), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("loadgen setup: register %s: status %d: %s", rel.Name(), resp.StatusCode, body)
+	}
+	return nil
+}

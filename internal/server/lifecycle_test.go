@@ -231,8 +231,13 @@ func TestMetricsEndpoint(t *testing.T) {
 		"hummer_queries_total 2",
 		"# TYPE hummer_inflight_queries gauge",
 		"hummer_inflight_queries 0",
-		"hummer_query_duration_seconds_sum",
-		"hummer_query_duration_seconds_count 2",
+		"# TYPE hummer_query_duration_seconds histogram",
+		`hummer_query_duration_seconds_bucket{class="query",le="0.0005"}`,
+		`hummer_query_duration_seconds_bucket{class="query",le="+Inf"} 2`,
+		`hummer_query_duration_seconds_sum{class="query"}`,
+		`hummer_query_duration_seconds_count{class="query"} 2`,
+		`hummer_query_duration_seconds_bucket{class="stream",le="+Inf"} 0`,
+		`hummer_query_duration_seconds_count{class="batch"} 0`,
 		`hummer_cache_hits_total{kind="fused"} 1`,
 		`hummer_cache_misses_total{kind="fused"} 1`,
 		`hummer_cache_misses_total{kind="match"} 1`,

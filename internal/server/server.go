@@ -134,6 +134,16 @@ type Server struct {
 	batchRequests   atomic.Uint64
 	batchStatements atomic.Uint64
 	batchErrors     atomic.Uint64
+
+	// Per-class latency histograms (fixed buckets, see hist.go):
+	// materialized /v1/query statements, /v1/query/stream statements
+	// (whole-stream wall clock) and individual /v1/batch statements.
+	// Exposed as hummer_query_duration_seconds{class=...} on /metrics
+	// and as percentile summaries in /v1/stats, so client-side load
+	// measurements have server-side numbers to cross-check against.
+	latQuery  latencyHist
+	latStream latencyHist
+	latBatch  latencyHist
 }
 
 // Option configures a Server.
@@ -368,8 +378,13 @@ type statsResponse struct {
 	// QuerySeconds is the total wall-clock time spent executing
 	// statements (sum over /v1/query, /v1/query/stream and /v1/batch
 	// statements, including failed ones).
-	QuerySeconds float64      `json:"query_seconds"`
-	DB           hummer.Stats `json:"db"`
+	QuerySeconds float64 `json:"query_seconds"`
+	// Latency summarizes the per-class latency histograms: keys are
+	// "query" (materialized statements), "stream" (whole-stream wall
+	// clock) and "batch" (individual batch statements); percentiles
+	// are interpolated from the fixed /metrics buckets.
+	Latency map[string]LatencySummary `json:"latency"`
+	DB      hummer.Stats              `json:"db"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -393,7 +408,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InternalErrors:        s.internalErrors.Load(),
 		StreamChunkQueueDepth: plan.StreamQueueDepth(),
 		QuerySeconds:          float64(s.queryNanos.Load()) / float64(time.Second),
-		DB:                    s.db.Stats(),
+		Latency: map[string]LatencySummary{
+			"query":  s.latQuery.summary(),
+			"stream": s.latStream.summary(),
+			"batch":  s.latBatch.summary(),
+		},
+		DB: s.db.Stats(),
 	})
 }
 
@@ -758,8 +778,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		res, err := s.db.QueryContext(ctx, req.SQL,
 			hummer.WithoutTrace(), hummer.WithLineage(req.Lineage))
+		elapsed := time.Since(start)
 		s.queryCount.Add(1)
-		s.queryNanos.Add(uint64(time.Since(start)))
+		s.queryNanos.Add(uint64(elapsed))
+		s.latQuery.Observe(elapsed)
 		return res, err
 	}()
 	if errors.Is(err, errHandled) {
@@ -808,6 +830,21 @@ func lineageRowJSON(cols []string, rowLin []hummer.LineageSet) []cellLineage {
 // producer; one per response would defeat streaming.
 const streamFlushRows = 64
 
+// streamRequest is the /v1/query/stream body: a statement plus the
+// resume window. Offset skips the first Offset result rows before any
+// row record is emitted; Limit (when present) caps how many row
+// records are emitted. A client whose stream died after reading k row
+// records resumes with offset=k and receives exactly the records the
+// full stream would have carried from position k on (the results are
+// deterministic, so the resumed bytes are the missing suffix); the
+// summary's row_count reflects the records actually emitted by this
+// response, not the full result.
+type streamRequest struct {
+	queryRequest
+	Limit  *int `json:"limit,omitempty"`
+	Offset int  `json:"offset,omitempty"`
+}
+
 // streamRecord is one NDJSON line of a /v1/query/stream response. The
 // first record is the schema ("type":"schema"), then one record per
 // row, then exactly one trailer: a summary on success, an error if
@@ -841,12 +878,20 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	ctx, release := s.slotContext(w, r)
 	defer release()
 
-	var req queryRequest
+	var req streamRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if strings.TrimSpace(req.SQL) == "" {
 		writeError(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+	if req.Offset < 0 {
+		writeError(w, http.StatusBadRequest, "offset must be >= 0, got %d", req.Offset)
+		return
+	}
+	if req.Limit != nil && *req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "limit must be >= 0, got %d", *req.Limit)
 		return
 	}
 	if err := faultinject.Hit(faultinject.SiteServerStream); err != nil {
@@ -866,8 +911,10 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		cols, err = rows.Columns()
 	}
 	if err != nil {
+		elapsed := time.Since(start)
 		s.queryCount.Add(1)
-		s.queryNanos.Add(uint64(time.Since(start)))
+		s.queryNanos.Add(uint64(elapsed))
+		s.latStream.Observe(elapsed)
 		s.classifyQueryError(w, r, err)
 		return
 	}
@@ -887,8 +934,16 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 
 	writeErr := enc.Encode(streamRecord{Type: "schema", Columns: cols})
 	flush()
+	skip := req.Offset
 	n := 0
-	for writeErr == nil && rows.Next() {
+	for writeErr == nil && (req.Limit == nil || n < *req.Limit) && rows.Next() {
+		if skip > 0 {
+			// The resume window: skipped rows are pulled (and, for plain
+			// SELECTs, computed) but never serialized — the wire carries
+			// exactly the suffix the client asked for.
+			skip--
+			continue
+		}
 		rec := streamRecord{Type: "row", Row: rowJSON(rows.Row())}
 		if lin := rows.RowLineage(); req.Lineage && lin != nil {
 			rec.Lineage = lineageRowJSON(cols, lin)
@@ -901,7 +956,9 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.streamedRows.Add(uint64(n))
-	s.queryNanos.Add(uint64(time.Since(start)))
+	elapsed := time.Since(start)
+	s.queryNanos.Add(uint64(elapsed))
+	s.latStream.Observe(elapsed)
 	switch {
 	case writeErr != nil:
 		// The transport died mid-stream; nothing more can reach the
@@ -924,6 +981,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		}
 		_ = enc.Encode(streamRecord{Type: "error", Error: err.Error()})
 	default:
+		// Close before the trailer: when Limit cut the drain short the
+		// cursor is not drained, and Summary only becomes available
+		// once the stream is drained or closed. Close is idempotent —
+		// the deferred one becomes a no-op.
+		_ = rows.Close()
 		count := n
 		_ = enc.Encode(streamRecord{Type: "summary", RowCount: &count, Fusion: rows.Summary()})
 	}
@@ -1032,6 +1094,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			s.batchStatements.Add(1)
 			s.queryCount.Add(1)
 			s.queryNanos.Add(uint64(br.Elapsed))
+			s.latBatch.Observe(br.Elapsed)
 			item := &resp.Results[i]
 			item.Seconds = br.Elapsed.Seconds()
 			if br.Err != nil {
@@ -1110,12 +1173,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("hummer_inflight_queries", "Queries executing right now.", float64(s.inflight.Load()))
 	gauge("hummer_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
 
-	// Query latency as a Prometheus summary without quantiles: _sum
-	// over _count gives the mean; rate() over both gives a live mean.
-	fmt.Fprintf(&b, "# HELP hummer_query_duration_seconds Wall-clock query execution time.\n")
-	fmt.Fprintf(&b, "# TYPE hummer_query_duration_seconds summary\n")
-	fmt.Fprintf(&b, "hummer_query_duration_seconds_sum %s\n", formatFloat(float64(s.queryNanos.Load())/float64(time.Second)))
-	fmt.Fprintf(&b, "hummer_query_duration_seconds_count %d\n", s.queryCount.Load())
+	// Query latency as fixed-bucket histograms, one series set per
+	// query class: histogram_quantile() works on these, _sum over
+	// _count still gives the mean, and the buckets are what client-side
+	// load-test percentiles are cross-checked against.
+	fmt.Fprintf(&b, "# HELP hummer_query_duration_seconds Wall-clock statement execution time by query class (query = /v1/query, stream = whole /v1/query/stream, batch = individual /v1/batch statements).\n")
+	fmt.Fprintf(&b, "# TYPE hummer_query_duration_seconds histogram\n")
+	for _, c := range []struct {
+		name string
+		h    *latencyHist
+	}{{"query", &s.latQuery}, {"stream", &s.latStream}, {"batch", &s.latBatch}} {
+		snap := c.h.snapshot()
+		var cum uint64
+		for i, bound := range latencyBucketBounds {
+			cum += snap.buckets[i]
+			fmt.Fprintf(&b, "hummer_query_duration_seconds_bucket{class=%q,le=%q} %d\n", c.name, formatBound(bound), cum)
+		}
+		fmt.Fprintf(&b, "hummer_query_duration_seconds_bucket{class=%q,le=\"+Inf\"} %d\n", c.name, snap.count)
+		fmt.Fprintf(&b, "hummer_query_duration_seconds_sum{class=%q} %s\n", c.name, formatFloat(snap.seconds))
+		fmt.Fprintf(&b, "hummer_query_duration_seconds_count{class=%q} %d\n", c.name, snap.count)
+	}
 
 	counter("hummer_db_queries_total", "Statements executed by the DB (all entry points).", st.Queries)
 	counter("hummer_db_fuse_queries_total", "Statements that ran the fusion pipeline.", st.FuseQueries)

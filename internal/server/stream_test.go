@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -115,6 +116,126 @@ func TestQueryStreamPlainAndLineage(t *testing.T) {
 	status, body = doJSON(t, ts, http.MethodPost, "/v1/query/stream", queryRequest{SQL: "SELECT x FROM ghost"})
 	if status != http.StatusBadRequest || !bytes.Contains(body, []byte("error")) {
 		t.Errorf("bad stream statement: %d %s", status, body)
+	}
+}
+
+// streamLines splits an NDJSON body into its raw lines.
+func streamLines(t *testing.T, body []byte) []string {
+	t.Helper()
+	return strings.Split(strings.TrimSpace(string(body)), "\n")
+}
+
+// rowRecords extracts the raw `"type":"row"` lines of a stream body,
+// byte-for-byte.
+func rowRecords(t *testing.T, body []byte) []string {
+	t.Helper()
+	var rows []string
+	for _, line := range streamLines(t, body) {
+		if strings.HasPrefix(line, `{"type":"row"`) {
+			rows = append(rows, line)
+		}
+	}
+	return rows
+}
+
+// TestQueryStreamResumeOffsetPrefixProperty pins the resume contract:
+// for every offset k, the row records of a stream requested with
+// offset=k are byte-identical to the full stream's row records from
+// position k on, and the summary's row_count reflects the emitted
+// records. A client whose connection died after reading k rows
+// re-requests with offset=k and splices the bytes together.
+func TestQueryStreamResumeOffsetPrefixProperty(t *testing.T) {
+	ts := newTestServer(t)
+	registerStudents(t, ts)
+
+	for _, sql := range []string{
+		fuseQuery, // fusion: 5 deterministic rows
+		"SELECT Name FROM EE_Student ORDER BY Name", // plain: 4 rows
+	} {
+		status, full := doJSON(t, ts, http.MethodPost, "/v1/query/stream",
+			streamRequest{queryRequest: queryRequest{SQL: sql}})
+		if status != http.StatusOK {
+			t.Fatalf("full stream: %d %s", status, full)
+		}
+		fullRows := rowRecords(t, full)
+		for k := 0; k <= len(fullRows); k++ {
+			status, resumed := doJSON(t, ts, http.MethodPost, "/v1/query/stream",
+				streamRequest{queryRequest: queryRequest{SQL: sql}, Offset: k})
+			if status != http.StatusOK {
+				t.Fatalf("offset %d: %d %s", k, status, resumed)
+			}
+			got := rowRecords(t, resumed)
+			want := fullRows[k:]
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("offset %d rows:\n%s\nwant:\n%s", k, strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+			last := streamLines(t, resumed)
+			if !strings.Contains(last[len(last)-1], fmt.Sprintf(`"row_count":%d`, len(want))) {
+				t.Errorf("offset %d summary = %s, want row_count %d", k, last[len(last)-1], len(want))
+			}
+		}
+	}
+}
+
+// TestQueryStreamLimitWindow: limit caps the emitted row records,
+// limit+offset slice an arbitrary window, a limit-cut fusion stream
+// still carries its fusion summary block, and limit=0 is a valid
+// probe (schema + summary only).
+func TestQueryStreamLimitWindow(t *testing.T) {
+	ts := newTestServer(t)
+	registerStudents(t, ts)
+
+	status, full := doJSON(t, ts, http.MethodPost, "/v1/query/stream",
+		streamRequest{queryRequest: queryRequest{SQL: fuseQuery}})
+	if status != http.StatusOK {
+		t.Fatalf("full stream: %d %s", status, full)
+	}
+	fullRows := rowRecords(t, full)
+
+	two := 2
+	status, windowed := doJSON(t, ts, http.MethodPost, "/v1/query/stream",
+		streamRequest{queryRequest: queryRequest{SQL: fuseQuery}, Offset: 1, Limit: &two})
+	if status != http.StatusOK {
+		t.Fatalf("window stream: %d %s", status, windowed)
+	}
+	got := rowRecords(t, windowed)
+	want := fullRows[1:3]
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("window rows:\n%s\nwant:\n%s", strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	trailer := streamLines(t, windowed)
+	last := trailer[len(trailer)-1]
+	if !strings.Contains(last, `"row_count":2`) || !strings.Contains(last, `"fusion"`) {
+		t.Errorf("limit-cut fusion summary = %s, want row_count 2 with a fusion block", last)
+	}
+
+	zero := 0
+	status, probe := doJSON(t, ts, http.MethodPost, "/v1/query/stream",
+		streamRequest{queryRequest: queryRequest{SQL: fuseQuery}, Limit: &zero})
+	if status != http.StatusOK {
+		t.Fatalf("probe stream: %d %s", status, probe)
+	}
+	lines := streamLines(t, probe)
+	if len(lines) != 2 || !strings.Contains(lines[1], `"row_count":0`) {
+		t.Errorf("limit=0 probe = %s, want schema + row_count 0 summary", probe)
+	}
+}
+
+// TestQueryStreamWindowValidation: negative limit/offset are 400s
+// before any execution.
+func TestQueryStreamWindowValidation(t *testing.T) {
+	ts := newTestServer(t)
+	registerStudents(t, ts)
+
+	neg := -1
+	for name, req := range map[string]streamRequest{
+		"negative offset": {queryRequest: queryRequest{SQL: fuseQuery}, Offset: -3},
+		"negative limit":  {queryRequest: queryRequest{SQL: fuseQuery}, Limit: &neg},
+	} {
+		status, body := doJSON(t, ts, http.MethodPost, "/v1/query/stream", req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: %d %s", name, status, body)
+		}
 	}
 }
 
