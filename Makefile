@@ -13,6 +13,9 @@
 #   make bench   — the full benchmark suite (longer).
 #   make loadtest — fixed-seed closed-loop loadgen smoke + burst
 #                  admission tests against an in-process hummerd.
+#   make profile — start hummerd with -debug-addr, drive it with the
+#                  loadgen, and capture a 10s CPU profile to
+#                  profiles/cpu.pprof.
 #   make fmt     — rewrite files with gofmt.
 
 GO ?= go
@@ -30,9 +33,9 @@ RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
 COVER_FLOOR = 70
 
-.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short serve loadtest
+.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short serve loadtest obs-bench profile
 
-check: fmtcheck vet build test race race-stream chaos cover bench-short loadtest
+check: fmtcheck vet build test race race-stream chaos cover bench-short obs-bench loadtest
 
 fmtcheck:
 	@unformatted=$$(gofmt -l .); \
@@ -108,6 +111,36 @@ bench-short:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Tracing-overhead gate: the no-op span path must stay at zero
+# allocations (the test asserts it) and the benchmark keeps the number
+# visible in CI logs. A regression here taxes every untraced query.
+obs-bench:
+	$(GO) test -run 'TestNoopSpanZeroAllocs' -bench 'BenchmarkNoopSpan' -benchtime 1000x ./internal/obs
+
+# CPU-profile a loaded server: build both binaries, start hummerd on
+# the example sources with the pprof listener up, drive it with the
+# loadgen mix in the background, and capture a 10-second CPU profile.
+# Inspect with: go tool pprof profiles/cpu.pprof
+profile:
+	@mkdir -p profiles
+	$(GO) build -o profiles/hummerd ./cmd/hummerd
+	$(GO) build -o profiles/hummer-loadgen ./cmd/hummer-loadgen
+	@./profiles/hummerd -addr 127.0.0.1:18080 -debug-addr 127.0.0.1:18081 \
+		-slow-query 250ms \
+		-csv EE_Student=examples/serve/ee_students.csv \
+		-csv CS_Students=examples/serve/cs_students.csv & \
+	srv=$$!; \
+	trap 'kill $$srv 2>/dev/null' EXIT; \
+	sleep 1; \
+	./profiles/hummer-loadgen -url http://127.0.0.1:18080 -setup \
+		-mode open -rate 30 -duration 12s & \
+	gen=$$!; \
+	curl -fsS -o profiles/cpu.pprof \
+		'http://127.0.0.1:18081/debug/pprof/profile?seconds=10' \
+		|| { echo "profile capture failed (is something else on 18080/18081?)"; kill $$gen 2>/dev/null; exit 1; }; \
+	wait $$gen; \
+	echo "wrote profiles/cpu.pprof"
 
 # Production-traffic smoke: the loadgen harness drives its fixed-seed
 # closed-loop mix (and a deliberate overload burst) at an in-process

@@ -30,6 +30,15 @@
 //	                     503 (default 1s; needs -admission-queue)
 //	-allow-path-sources  let API clients register server-local files by
 //	                     path (off by default: file-disclosure risk)
+//	-log-level LEVEL     minimum log level: debug, info, warn, error
+//	                     (default info)
+//	-log-format FORMAT   log output format: text or json (default text)
+//	-slow-query D        log the full span tree of any query slower
+//	                     than D (0 = disabled)
+//	-trace-ring N        per-query traces kept for GET /v1/trace
+//	                     (default 128; 0 disables tracing)
+//	-debug-addr ADDR     serve net/http/pprof on a second listener
+//	                     (off by default; never expose publicly)
 //
 // Rejection responses (429, 503, 504) carry a Retry-After header.
 //
@@ -53,8 +62,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,6 +72,7 @@ import (
 	"hummer"
 	"hummer/internal/faultinject"
 	"hummer/internal/flagspec"
+	"hummer/internal/obs"
 	"hummer/internal/server"
 )
 
@@ -93,15 +103,28 @@ func run(args []string) error {
 		"how long a queued request may wait for a slot before 503 (needs -admission-queue)")
 	allowPaths := fs.Bool("allow-path-sources", false,
 		"let API clients register server-local files by path (file-disclosure risk; keep off unless clients are trusted)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	slowQuery := fs.Duration("slow-query", 0,
+		"log the full span tree of any query slower than this (0 = disabled)")
+	traceRing := fs.Int("trace-ring", server.DefaultTraceRing,
+		"per-query traces kept for GET /v1/trace (0 disables tracing)")
+	debugAddr := fs.String("debug-addr", "",
+		"serve net/http/pprof on this second listener (empty = off; never expose publicly)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
 	if armed, err := faultinject.ArmFromEnv(os.Getenv(faultinject.EnvVar)); err != nil {
 		return fmt.Errorf("%s: %w", faultinject.EnvVar, err)
 	} else if armed {
-		log.Printf("hummerd: WARNING: fault injection ARMED via %s=%q — queries will fail on purpose; never set this in production",
-			faultinject.EnvVar, os.Getenv(faultinject.EnvVar))
+		logger.Warn("fault injection ARMED — queries will fail on purpose; never set this in production",
+			"env", faultinject.EnvVar, "spec", os.Getenv(faultinject.EnvVar))
 	}
 
 	db := hummer.New(hummer.WithCacheCapacity(*cacheCap))
@@ -142,6 +165,8 @@ func run(args []string) error {
 	srvOpts := []server.Option{
 		server.WithQueryTimeout(*queryTimeout),
 		server.WithMaxInflight(*maxInflight),
+		server.WithLogger(logger),
+		server.WithTraceRing(*traceRing),
 	}
 	if *admissionQueue > 0 {
 		srvOpts = append(srvOpts, server.WithAdmissionWait(*admissionQueue, *admissionWait))
@@ -149,10 +174,33 @@ func run(args []string) error {
 	if *allowPaths {
 		srvOpts = append(srvOpts, server.AllowPathSources())
 	}
+	if *slowQuery > 0 {
+		srvOpts = append(srvOpts, server.WithSlowQueryLog(*slowQuery))
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(db, srvOpts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own listener and mux: the profiling surface
+		// stays off the query port, so binding it to localhost while
+		// the API faces the network is a flag away.
+		dbgMux := http.NewServeMux()
+		dbgMux.HandleFunc("/debug/pprof/", pprof.Index)
+		dbgMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbgMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbgMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbgMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbgSrv := &http.Server{Addr: *debugAddr, Handler: dbgMux, ReadHeaderTimeout: 10 * time.Second}
+		defer dbgSrv.Close()
+		go func() {
+			logger.Info("pprof debug server listening", "addr", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof debug server failed", "error", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -160,7 +208,7 @@ func run(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("hummerd: serving on %s (%d sources registered)", *addr, len(db.Sources()))
+		logger.Info("serving", "addr", *addr, "sources", len(db.Sources()))
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -173,14 +221,17 @@ func run(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("hummerd: shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	st := db.Stats()
-	log.Printf("hummerd: served %d queries (%d fusion, %d errors), cache hit rate %.0f%%",
-		st.Queries, st.FuseQueries, st.QueryErrors, st.Cache.HitRate()*100)
+	logger.Info("served",
+		"queries", st.Queries,
+		"fusion_queries", st.FuseQueries,
+		"query_errors", st.QueryErrors,
+		"cache_hit_rate", st.Cache.HitRate())
 	return <-errCh
 }

@@ -24,6 +24,7 @@ import (
 	"hummer/internal/faultinject"
 	"hummer/internal/fusion"
 	"hummer/internal/metadata"
+	"hummer/internal/obs"
 	"hummer/internal/qcache"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
@@ -192,9 +193,15 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 	if reg == nil {
 		reg = fusion.NewRegistry()
 	}
+	ctx, psp := obs.StartSpan(ctx, "pipeline")
+	defer psp.End()
+	psp.SetInt("sources", len(aliases))
 
 	res := &Result{}
 	// Step 1: load the relational form of every source.
+	_, lsp := obs.StartSpan(ctx, "load")
+	defer lsp.End()
+	rows := 0
 	for _, a := range aliases {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -203,8 +210,11 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 		if err != nil {
 			return nil, err
 		}
+		rows += rel.Len()
 		res.Sources = append(res.Sources, rel)
 	}
+	lsp.SetInt("rows", rows)
+	lsp.End()
 
 	// Steps 2+3: schema matching and transformation.
 	if err := p.matchAndTransform(ctx, res, opts); err != nil {
@@ -272,6 +282,9 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, fsp := obs.StartSpan(ctx, "fuse")
+	defer fsp.End()
+	fsp.SetInt("input_rows", fuseInput.Len())
 	fused, err := fusion.Fuse(fuseInput, reg, fusion.Options{
 		GroupBy:         groupBy,
 		Items:           opts.Items,
@@ -284,6 +297,8 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 	if err != nil {
 		return nil, err
 	}
+	fsp.SetInt("rows", fused.Rel.Len())
+	fsp.End()
 	res.Fused = fused
 	return res, nil
 }
@@ -297,6 +312,9 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 // without disturbing the computation, and a cancelled leader's
 // abandoned entry is re-elected by the remaining waiters.
 func (p *Pipeline) match(ctx context.Context, left, right *relation.Relation, cfg dumas.Config) (*dumas.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "match")
+	defer sp.End()
+	sp.SetStr("source", right.Name())
 	if err := faultinject.Hit(faultinject.SiteCoreMatch); err != nil {
 		return nil, err
 	}
@@ -304,11 +322,21 @@ func (p *Pipeline) match(ctx context.Context, left, right *relation.Relation, cf
 		return dumas.MatchContext(ctx, left, right, cfg)
 	}
 	key := qcache.MatchKey(qcache.FingerprintRelation(left), qcache.FingerprintRelation(right), cfg)
+	computed := false
 	v, _, err := p.Cache.DoContext(ctx, key, func(ctx context.Context) (any, error) {
+		computed = true
 		return dumas.MatchContext(ctx, left, right, cfg)
 	})
 	if err != nil {
 		return nil, err
+	}
+	// The compute closure runs in the leader's goroutine with the
+	// leader's ctx, so the dumas sub-spans attach here exactly when
+	// this query did the work; a served query shows only the wait.
+	if computed {
+		sp.SetStr("cache", "miss")
+	} else {
+		sp.SetStr("cache", "hit")
 	}
 	return v.(*dumas.Result), nil
 }
@@ -318,6 +346,9 @@ func (p *Pipeline) match(ctx context.Context, left, right *relation.Relation, cf
 // WHERE-filtered variants key separately) and the full detection
 // configuration including the resolved attribute selection.
 func (p *Pipeline) detect(ctx context.Context, rel *relation.Relation, cfg dupdetect.Config) (*dupdetect.Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "detect")
+	defer sp.End()
+	sp.SetInt("rows", rel.Len())
 	if err := faultinject.Hit(faultinject.SiteCoreDetect); err != nil {
 		return nil, err
 	}
@@ -325,11 +356,18 @@ func (p *Pipeline) detect(ctx context.Context, rel *relation.Relation, cfg dupde
 		return dupdetect.DetectContext(ctx, rel, cfg)
 	}
 	key := qcache.DetectKey(qcache.FingerprintRelation(rel), cfg)
+	computed := false
 	v, _, err := p.Cache.DoContext(ctx, key, func(ctx context.Context) (any, error) {
+		computed = true
 		return dupdetect.DetectContext(ctx, rel, cfg)
 	})
 	if err != nil {
 		return nil, err
+	}
+	if computed {
+		sp.SetStr("cache", "miss")
+	} else {
+		sp.SetStr("cache", "hit")
 	}
 	return v.(*dupdetect.Result), nil
 }
@@ -385,6 +423,8 @@ func (p *Pipeline) matchAndTransform(ctx context.Context, res *Result, opts Opti
 	}
 
 	// Add sourceID to each transformed source, then outer union.
+	mctx, msp := obs.StartSpan(ctx, "merge")
+	defer msp.End()
 	withSrc := make([]*relation.Relation, len(transformed))
 	for i, rel := range transformed {
 		w, err := addSourceID(rel)
@@ -393,10 +433,12 @@ func (p *Pipeline) matchAndTransform(ctx context.Context, res *Result, opts Opti
 		}
 		withSrc[i] = w
 	}
-	merged, err := outerUnion(ctx, "merged", withSrc)
+	merged, err := outerUnion(mctx, "merged", withSrc)
 	if err != nil {
 		return err
 	}
+	msp.SetInt("rows", merged.Len())
+	msp.End()
 	res.Merged = merged
 	return nil
 }

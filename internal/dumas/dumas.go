@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"hummer/internal/assign"
+	"hummer/internal/obs"
 	"hummer/internal/parshard"
 	"hummer/internal/relation"
 	"hummer/internal/strsim"
@@ -175,10 +176,14 @@ func MatchContext(ctx context.Context, left, right *relation.Relation, cfg Confi
 	if len(dups) == 0 {
 		return &Result{Stats: stats}, nil
 	}
+	_, msp := obs.StartSpan(ctx, "match.matrix")
+	defer msp.End()
+	msp.SetInt("pairs", len(dups))
 	matrix, err := averagedFieldMatrix(ctx, left, right, dups, parshard.Workers(cfg.Parallelism))
 	if err != nil {
 		return nil, err
 	}
+	msp.End()
 	pairs := assign.MaxWeight(matrix)
 	var corrs []Correspondence
 	for _, p := range pairs {
@@ -263,6 +268,10 @@ func findDuplicates(ctx context.Context, left, right *relation.Relation, cfg Con
 	// shard order (the counts merge commutatively, so the corpus is
 	// byte-identical to a sequential build). The rendered texts are
 	// kept so the key-based candidate strategies don't re-render them.
+	_, csp := obs.StartSpan(ctx, "match.corpus")
+	defer csp.End()
+	csp.SetInt("rows", nl+nr)
+	csp.SetInt("workers", preWorkers)
 	leftTexts := make([]string, nl)
 	rightTexts := make([]string, nr)
 	leftTokens := make([][]string, nl)
@@ -319,6 +328,7 @@ func findDuplicates(ctx context.Context, left, right *relation.Relation, cfg Con
 	if err := vecSide(nr, rightTokens, rightVecs); err != nil {
 		return nil, Stats{}, err
 	}
+	csp.End()
 
 	// Sort keys are only materialized when a key-based candidate
 	// strategy asks for them, from the already-rendered tuple texts.
@@ -348,6 +358,9 @@ func findDuplicates(ctx context.Context, left, right *relation.Relation, cfg Con
 	if nl*nr <= pairChunk {
 		scoreWorkers = 1
 	}
+	_, ssp := obs.StartSpan(ctx, "match.score")
+	defer ssp.End()
+	ssp.SetInt("workers", scoreWorkers)
 	minSim := cfg.MinTupleSim
 	out, err := parshard.RunContext(ctx, scoreWorkers, pairChunk,
 		parshard.Gen[[2]int](func(yield func([2]int) bool) {
@@ -371,6 +384,9 @@ func findDuplicates(ctx context.Context, left, right *relation.Relation, cfg Con
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	ssp.SetInt("candidates", out.stats.CandidatePairs)
+	ssp.SetInt("scored", out.stats.Scored)
+	ssp.End()
 
 	// Rank by similarity (ties broken by row ids: a total order, so
 	// the selection is deterministic) and pick the top pairs 1:1.

@@ -50,6 +50,7 @@ import (
 	"sort"
 	"strings"
 
+	"hummer/internal/obs"
 	"hummer/internal/parshard"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
@@ -212,10 +213,18 @@ func DetectContext(ctx context.Context, rel *relation.Relation, cfg Config) (*Re
 		cols[i] = j
 	}
 
+	_, csp := obs.StartSpan(ctx, "detect.corpus")
+	defer csp.End()
+	csp.SetInt("rows", rel.Len())
 	m, err := newMeasure(ctx, rel, cols, cfg)
 	if err != nil {
 		return nil, err
 	}
+	csp.End()
+
+	_, ssp := obs.StartSpan(ctx, "detect.score")
+	defer ssp.End()
+	ssp.SetInt("workers", parshard.Workers(cfg.Parallelism))
 	gen, blocks := candidateGen(ctx, m, cfg)
 	out, err := scorePairs(ctx, m, cfg, gen)
 	if err != nil {
@@ -225,6 +234,9 @@ func DetectContext(ctx context.Context, rel *relation.Relation, cfg Config) (*Re
 	// counters is joined before scorePairs returns.
 	out.stats.SkippedBlocks = blocks.skipped
 	out.stats.SkippedBlockRows = blocks.skippedRows
+	ssp.SetInt("candidates", out.stats.CandidatePairs)
+	ssp.SetInt("compared", out.stats.Compared)
+	ssp.End()
 
 	res := &Result{
 		SelectedAttributes: attrs,
@@ -232,11 +244,15 @@ func DetectContext(ctx context.Context, rel *relation.Relation, cfg Config) (*Re
 		Borderline:         out.borderline,
 		Stats:              out.stats,
 	}
+	_, usp := obs.StartSpan(ctx, "detect.cluster")
+	defer usp.End()
 	dsu := newUnionFind(rel.Len())
 	for _, p := range out.dups {
 		dsu.union(p.A, p.B)
 	}
 	res.ObjectIDs, res.Clusters = dsu.clusters()
+	usp.SetInt("clusters", len(res.Clusters))
+	usp.End()
 	return res, nil
 }
 

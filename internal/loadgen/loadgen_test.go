@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -105,7 +106,13 @@ func TestScheduleDeterminism(t *testing.T) {
 // per-class percentiles (with time-to-first-row for the stream
 // classes), and leaves matching per-class histograms on /metrics.
 func TestLoadgenSmoke(t *testing.T) {
-	ts, _ := newTarget(t)
+	// Tracing rides along by default; a nanosecond slow-query
+	// threshold forces the span-tree dump on every request so the
+	// observability hot path is exercised under production-shaped
+	// load, not just in unit tests.
+	ts, _ := newTarget(t,
+		server.WithSlowQueryLog(time.Nanosecond),
+		server.WithLogger(slog.New(slog.NewTextHandler(io.Discard, nil))))
 	ctx := context.Background()
 	const seed = 42
 	if err := Setup(ctx, ts.Client(), ts.URL, seed, 40); err != nil {

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+type traceCtxKey struct{}
+type spanCtxKey struct{}
+type reqIDCtxKey struct{}
+
+// ContextWithTrace attaches a trace to the context; spans started
+// from the returned context nest under the trace's root.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceCtxKey{}, t)
+	return context.WithValue(ctx, spanCtxKey{}, t.Root)
+}
+
+// TraceFrom returns the trace riding the context, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}
+
+// SpanFrom returns the innermost span riding the context, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context carrying it. With no trace on the context it returns the
+// context unchanged and a nil span — zero allocations, so call sites
+// need no enabled/disabled branches.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.StartChild(name)
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// WithRequestID attaches the request's correlation ID to the context;
+// it is set for every request, whether or not a trace is recorded.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDCtxKey{}, id)
+}
+
+// RequestID returns the context's correlation ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDCtxKey{}).(string)
+	return id
+}
+
+// Request IDs are a per-process random prefix plus a sequence number:
+// unique across restarts (the prefix), cheap and ordered within a
+// process (the counter), and grep-friendly in logs.
+var (
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// NewRequestID mints the next request ID, e.g. "f3a91c07-000042".
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}

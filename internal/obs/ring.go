@@ -1,0 +1,72 @@
+package obs
+
+import "sync"
+
+// Ring keeps the last N finished traces for GET /v1/trace. A nil
+// *Ring is the disabled state: Add and Snapshot are no-ops, so the
+// server wires tracing off by simply not constructing one.
+type Ring struct {
+	mu  sync.Mutex
+	buf []*Trace
+	pos int // next write slot
+	n   int // traces stored (≤ len(buf))
+}
+
+// NewRing returns a ring holding up to capacity traces, or nil when
+// capacity is not positive (tracing disabled).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add records a finished trace, evicting the oldest when full.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.pos] = t
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of traces currently held.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Snapshot renders up to limit traces, newest first (limit <= 0 means
+// all). Views are built outside the ring lock; traces in the ring are
+// finished, so their span trees are quiescent.
+func (r *Ring) Snapshot(limit int) []*TraceView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	n := r.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	traces := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		// pos is the next write slot; pos-1 is the newest entry.
+		idx := (r.pos - 1 - i + len(r.buf)*2) % len(r.buf)
+		traces = append(traces, r.buf[idx])
+	}
+	r.mu.Unlock()
+	views := make([]*TraceView, len(traces))
+	for i, t := range traces {
+		views[i] = t.View()
+	}
+	return views
+}

@@ -29,6 +29,7 @@ import (
 	"hummer/internal/fusion"
 	"hummer/internal/lineage"
 	"hummer/internal/metadata"
+	"hummer/internal/obs"
 	"hummer/internal/qcache"
 	"hummer/internal/relation"
 	"hummer/internal/sql"
@@ -143,7 +144,9 @@ func (e *Executor) QueryWith(ctx context.Context, q string, opt ExecOptions) (*Q
 		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 		defer cancel()
 	}
-	stmt, err := e.parse(ctx, q)
+	pctx, psp := obs.StartSpan(ctx, "plan")
+	stmt, err := e.parse(pctx, q)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -277,8 +280,15 @@ func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string
 			// a zero-option cold run exposes Pipeline as it always has —
 			// while only the slim entry is published to the cache and to
 			// piggybacking waiters.
+			//
+			// The cache.fused span covers the whole tier interaction:
+			// on a miss the pipeline spans nest under it (the compute
+			// runs in this goroutine); on a hit or shared wait only the
+			// lookup/wait time shows, with the outcome attribute naming
+			// which it was.
+			cctx, csp := obs.StartSpan(ctx, "cache.fused")
 			var full *QueryResult
-			v, _, err := e.Cache.DoContext(ctx, key, func(ctx context.Context) (any, error) {
+			v, _, err := e.Cache.DoContext(cctx, key, func(ctx context.Context) (any, error) {
 				res, err := e.runFusion(ctx, p, stmt, aliases, opts)
 				if err != nil {
 					return nil, err
@@ -300,6 +310,15 @@ func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string
 				}
 				return slim, nil
 			})
+			switch {
+			case full != nil && errors.Is(err, errFusedStale):
+				csp.SetStr("outcome", "stale")
+			case full != nil:
+				csp.SetStr("outcome", "miss")
+			case err == nil:
+				csp.SetStr("outcome", "hit")
+			}
+			csp.End()
 			if err == nil || errors.Is(err, errFusedStale) {
 				// Cached results are shared across queries: callers
 				// must treat Rel and Lineage as read-only. On the
@@ -360,7 +379,9 @@ func (e *Executor) runFusion(ctx context.Context, p *core.Pipeline, stmt *sql.St
 	out := res.Fused.Rel
 	lin := res.Fused.Lineage
 
+	_, psp := obs.StartSpan(ctx, "post")
 	out, lin, err = postProcess(out, lin, stmt)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}

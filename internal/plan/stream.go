@@ -12,6 +12,7 @@ import (
 	"hummer/internal/fault"
 	"hummer/internal/faultinject"
 	"hummer/internal/lineage"
+	"hummer/internal/obs"
 	"hummer/internal/relation"
 	"hummer/internal/schema"
 	"hummer/internal/sql"
@@ -82,6 +83,22 @@ type Rows struct {
 	err     error
 	drained bool
 	closed  bool
+
+	// emitted counts rows this stream's producer has handed to the
+	// event channel. Producer-owned while the stream is live; the
+	// channel close publishes it, so Emitted is valid after the end.
+	emitted int
+}
+
+// Emitted reports how many rows this stream's producer emitted into
+// the producer→consumer buffer. Valid once the stream has ended (Next
+// returned false, or after Close); a live stream's count is racy and
+// deliberately not exposed.
+func (r *Rows) Emitted() int {
+	if r.drained || r.closed {
+		return r.emitted
+	}
+	return 0
 }
 
 // StreamContext parses the statement and starts executing it in a
@@ -95,7 +112,9 @@ func (e *Executor) StreamContext(ctx context.Context, q string, opt ExecOptions)
 	if e.Repo == nil {
 		return nil, fmt.Errorf("plan: executor has no repository")
 	}
-	stmt, err := e.parse(ctx, q)
+	pctx, psp := obs.StartSpan(ctx, "plan")
+	stmt, err := e.parse(pctx, q)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -120,13 +139,21 @@ func (e *Executor) StreamContext(ctx context.Context, q string, opt ExecOptions)
 // never a process crash.
 func (r *Rows) produce(ctx context.Context, e *Executor, stmt *sql.Stmt, q string, opt ExecOptions) {
 	defer close(r.events)
+	// The stream span covers execution plus the full drain: its
+	// duration is the stream's wall time as the consumer experienced
+	// it, with the execution sub-spans (cache.fused, pipeline, ...)
+	// nested under it. The handler publishes the trace only after
+	// joining this goroutine, so the span tree is quiescent by then.
+	sctx, sp := obs.StartSpan(ctx, "stream")
 	err := func() (err error) {
 		defer fault.Capture(faultinject.SitePlanStream, &err)
 		if err := faultinject.Hit(faultinject.SitePlanStream); err != nil {
 			return err
 		}
-		return r.run(ctx, e, stmt, q, opt)
+		return r.run(sctx, e, stmt, q, opt)
 	}()
+	sp.SetInt("rows", r.emitted)
+	sp.End()
 	if err != nil && r.earlyClose.Load() && errors.Is(err, context.Canceled) {
 		// The consumer closed the stream on purpose; the resulting
 		// cancellation is a clean shutdown, not a failure.
@@ -221,20 +248,57 @@ func (r *Rows) run(ctx context.Context, e *Executor, stmt *sql.Stmt, q string, o
 // materialized chunks); zero at rest proves streams drain fully.
 var queuedEvents atomic.Int64
 
+// producedRows counts rows emitted by stream producers into the
+// producer→consumer buffers, across all streams over the process
+// lifetime — the throughput companion to the queue-depth gauge,
+// exported as hummer_stream_produced_rows_total.
+var producedRows atomic.Uint64
+
+// stallHist records how long producers spent blocked on a full event
+// buffer waiting for the consumer — the direct measure of consumer
+// backpressure (a slow client stalls its producer here). Only actual
+// blocking is observed; an immediate send costs nothing.
+var stallHist = obs.NewDurationHist(obs.StallBounds)
+
 // StreamQueueDepth reports how many stream events are currently
 // buffered between producers and consumers, summed over all live
 // streams.
 func StreamQueueDepth() int64 { return queuedEvents.Load() }
 
+// StreamProducedRows reports the total rows emitted by stream
+// producers process-wide.
+func StreamProducedRows() uint64 { return producedRows.Load() }
+
+// StreamStallSnapshot returns the consumer-stall-time histogram:
+// every observation is one producer send that had to block on a full
+// buffer, bucketed by how long it waited.
+func StreamStallSnapshot() obs.HistSnapshot { return stallHist.Snapshot() }
+
 // send delivers one event unless the stream's context ends first.
+// A send that cannot complete immediately is a consumer stall; the
+// time spent blocked is recorded whether or not the send eventually
+// succeeds (a cancelled wait was still time lost to backpressure).
 func (r *Rows) send(ctx context.Context, ev streamEvent) bool {
 	select {
 	case r.events <- ev:
-		queuedEvents.Add(1)
-		return true
 	case <-ctx.Done():
 		return false
+	default:
+		t0 := time.Now()
+		select {
+		case r.events <- ev:
+			stallHist.Observe(time.Since(t0))
+		case <-ctx.Done():
+			stallHist.Observe(time.Since(t0))
+			return false
+		}
 	}
+	queuedEvents.Add(1)
+	if n := len(ev.rows); n > 0 {
+		r.emitted += n
+		producedRows.Add(uint64(n))
+	}
+	return true
 }
 
 // next receives one event, folding terminal state in when the channel

@@ -56,19 +56,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"hummer"
 	"hummer/internal/fault"
 	"hummer/internal/faultinject"
+	"hummer/internal/obs"
 	"hummer/internal/plan"
 	"hummer/internal/qcache"
 	"hummer/internal/value"
@@ -144,6 +147,23 @@ type Server struct {
 	latQuery  latencyHist
 	latStream latencyHist
 	latBatch  latencyHist
+
+	// logger is the structured request/containment logger; defaults to
+	// slog.Default() so a bare New keeps logging where log.Printf did.
+	logger *slog.Logger
+	// ring holds the last ringSize query traces for GET /v1/trace; nil
+	// disables per-query tracing entirely (the span no-op path).
+	ring     *obs.Ring
+	ringSize int
+	// slowQuery, when positive, logs the full span tree of any query
+	// request whose wall time meets the threshold.
+	slowQuery time.Duration
+	// phases accumulates per-phase duration histograms from finished
+	// traces — the hummer_phase_duration_seconds series. Keyed by span
+	// name; the key set is the fixed instrumentation vocabulary, so
+	// cardinality is bounded.
+	phaseMu sync.Mutex
+	phases  map[string]*latencyHist
 }
 
 // Option configures a Server.
@@ -199,15 +219,56 @@ func WithAdmissionWait(queue int, maxWait time.Duration) Option {
 	}
 }
 
+// DefaultTraceRing is how many finished query traces GET /v1/trace
+// retains when WithTraceRing is not given.
+const DefaultTraceRing = 128
+
+// WithLogger installs the structured logger for request, containment
+// and slow-query logging. nil keeps slog.Default().
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
+// WithTraceRing sets how many finished query span traces are retained
+// for GET /v1/trace. n <= 0 disables per-query tracing entirely: no
+// trace rides the request context and the pipeline's span calls take
+// their zero-allocation no-op path.
+func WithTraceRing(n int) Option {
+	return func(s *Server) { s.ringSize = n }
+}
+
+// WithSlowQueryLog logs the full span tree of any query request whose
+// wall time meets d. d <= 0 disables the slow-query log. Requires
+// tracing (a disabled ring leaves nothing to dump).
+func WithSlowQueryLog(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.slowQuery = d
+		}
+	}
+}
+
 // New builds a Server over db.
 func New(db *hummer.DB, opts ...Option) *Server {
-	s := &Server{db: db, mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{
+		db:       db,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		logger:   slog.Default(),
+		ringSize: DefaultTraceRing,
+		phases:   make(map[string]*latencyHist),
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	if s.maxInflight > 0 {
 		s.slots = make(chan struct{}, s.maxInflight)
 	}
+	s.ring = obs.NewRing(s.ringSize)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -218,19 +279,39 @@ func New(db *hummer.DB, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/query/stream", s.handleQueryStream)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/functions", s.handleFunctions)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/cache", s.handlePurgeCache)
 	return s
 }
 
-// Handler returns the routable handler: request counting, body
-// capping, and the handler-level fault containment boundary.
+// Handler returns the routable handler: request counting, request-ID
+// minting, per-query trace lifecycle, body capping, and the
+// handler-level fault containment boundary.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		reqID := obs.NewRequestID()
+		w.Header().Set("X-Hummer-Request-Id", reqID)
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		var tr *obs.Trace
+		if s.ring != nil && tracedPath(r.URL.Path) {
+			tr = obs.NewTrace(reqID, r.Method+" "+r.URL.Path)
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		}
 		rw := &recoverWriter{ResponseWriter: w}
 		defer func() {
 			rec := recover()
+			// Publish the trace even for requests that died on a panic
+			// or disconnect: partial trees are exactly what a postmortem
+			// wants. Safe here — the handler (and thus any stream drain
+			// that joins the producer goroutine) has returned, so the
+			// span tree is quiescent.
+			if tr != nil {
+				tr.Finish()
+				s.ring.Add(tr)
+				s.recordTrace(r, tr)
+			}
 			if rec == nil {
 				return
 			}
@@ -240,8 +321,12 @@ func (s *Server) Handler() http.Handler {
 			}
 			ie := fault.NewInternal("server.handler", rec)
 			s.internalErrors.Add(1)
-			log.Printf("hummerd: contained panic serving %s %s: %v\n%s",
-				r.Method, r.URL.Path, ie.Recovered, ie.Stack)
+			s.logger.Error("contained panic in handler",
+				"request_id", reqID,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"panic", fmt.Sprint(ie.Recovered),
+				"stack", string(ie.Stack))
 			if !rw.wrote {
 				writeError(rw, http.StatusInternalServerError, "%v", ie)
 			}
@@ -379,15 +464,32 @@ type statsResponse struct {
 	// statements (sum over /v1/query, /v1/query/stream and /v1/batch
 	// statements, including failed ones).
 	QuerySeconds float64 `json:"query_seconds"`
+	// StreamProducedRows counts rows pushed by stream producers (as
+	// opposed to StreamedRows, which counts NDJSON records the HTTP
+	// layer emitted); StreamStalls / StreamStallSeconds summarize the
+	// times a producer found the chunk channel full and had to wait —
+	// the consumer-side backpressure signal.
+	StreamProducedRows uint64  `json:"stream_produced_rows"`
+	StreamStalls       uint64  `json:"stream_stalls"`
+	StreamStallSeconds float64 `json:"stream_stall_seconds"`
 	// Latency summarizes the per-class latency histograms: keys are
 	// "query" (materialized statements), "stream" (whole-stream wall
 	// clock) and "batch" (individual batch statements); percentiles
 	// are interpolated from the fixed /metrics buckets.
 	Latency map[string]LatencySummary `json:"latency"`
-	DB      hummer.Stats              `json:"db"`
+	// Phases summarizes the per-phase span-duration histograms fed by
+	// query tracing, keyed by phase name ("plan", "match.score", …).
+	// Empty until the first traced query completes.
+	Phases map[string]LatencySummary `json:"phases"`
+	DB     hummer.Stats              `json:"db"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stall := plan.StreamStallSnapshot()
+	phases := make(map[string]LatencySummary)
+	for name, h := range s.phaseSnapshots() {
+		phases[name] = h.summary()
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds:         time.Since(s.start).Seconds(),
 		Requests:              s.requests.Load(),
@@ -408,12 +510,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InternalErrors:        s.internalErrors.Load(),
 		StreamChunkQueueDepth: plan.StreamQueueDepth(),
 		QuerySeconds:          float64(s.queryNanos.Load()) / float64(time.Second),
+		StreamProducedRows:    plan.StreamProducedRows(),
+		StreamStalls:          stall.Count,
+		StreamStallSeconds:    stall.Seconds,
 		Latency: map[string]LatencySummary{
 			"query":  s.latQuery.summary(),
 			"stream": s.latStream.summary(),
 			"batch":  s.latBatch.summary(),
 		},
-		DB: s.db.Stats(),
+		Phases: phases,
+		DB:     s.db.Stats(),
 	})
 }
 
@@ -574,6 +680,10 @@ type queryRequest struct {
 	// Lineage adds per-cell provenance to the response (fusion
 	// queries only).
 	Lineage bool `json:"lineage,omitempty"`
+	// Trace echoes the request ID as trace_id in the response body so
+	// the caller can fetch the span tree from GET /v1/trace. Off by
+	// default: the response stays byte-identical to an untraced run.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // cellLineage is one cell's provenance: the contributing source rows.
@@ -594,6 +704,9 @@ type queryResponse struct {
 	// Lineage is present only when requested AND the statement
 	// produced lineage (fusion statements with at least one row).
 	Lineage [][]cellLineage `json:"lineage,omitempty"`
+	// TraceID is present only when the request set trace:true — it is
+	// the request ID, usable to fetch the span tree from GET /v1/trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errHandled marks a request whose response was already written by a
@@ -737,7 +850,10 @@ func (s *Server) classifyQueryError(w http.ResponseWriter, r *http.Request, err 
 		// A panic contained at a deeper boundary (parshard, qcache
 		// leader, stream producer): one failed query, process intact.
 		s.internalErrors.Add(1)
-		log.Printf("hummerd: query failed on contained panic: %v\n%s", internal, internal.Stack)
+		s.logger.Error("query failed on contained panic",
+			"request_id", obs.RequestID(r.Context()),
+			"error", internal.Error(),
+			"stack", string(internal.Stack))
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -796,6 +912,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:     make([][]any, 0, res.Rel.Len()),
 		RowCount: res.Rel.Len(),
 		Fusion:   res.Summary,
+	}
+	if req.Trace {
+		resp.TraceID = obs.RequestID(r.Context())
 	}
 	for i := 0; i < res.Rel.Len(); i++ {
 		resp.Rows = append(resp.Rows, rowJSON(res.Rel.Row(i)))
@@ -1193,6 +1312,61 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "hummer_query_duration_seconds_sum{class=%q} %s\n", c.name, formatFloat(snap.seconds))
 		fmt.Fprintf(&b, "hummer_query_duration_seconds_count{class=%q} %d\n", c.name, snap.count)
 	}
+
+	// Per-phase span durations from query tracing: one label value per
+	// pipeline phase ("plan", "match.score", …). Empty until the first
+	// traced query completes; disabled entirely with -trace-ring 0.
+	phases := s.phaseSnapshots()
+	if len(phases) > 0 {
+		names := make([]string, 0, len(phases))
+		for name := range phases {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "# HELP hummer_phase_duration_seconds Pipeline phase durations from per-query span tracing.\n")
+		fmt.Fprintf(&b, "# TYPE hummer_phase_duration_seconds histogram\n")
+		for _, name := range names {
+			snap := phases[name].snapshot()
+			var cum uint64
+			for i, bound := range latencyBucketBounds {
+				cum += snap.buckets[i]
+				fmt.Fprintf(&b, "hummer_phase_duration_seconds_bucket{phase=%q,le=%q} %d\n", name, formatBound(bound), cum)
+			}
+			fmt.Fprintf(&b, "hummer_phase_duration_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", name, snap.count)
+			fmt.Fprintf(&b, "hummer_phase_duration_seconds_sum{phase=%q} %s\n", name, formatFloat(snap.seconds))
+			fmt.Fprintf(&b, "hummer_phase_duration_seconds_count{phase=%q} %d\n", name, snap.count)
+		}
+	}
+
+	// Stream backpressure: rows pushed by producers plus a histogram of
+	// producer stalls (chunk channel full — the consumer is the
+	// bottleneck). Compare stall _sum to stream query _sum to see how
+	// much of stream latency is consumer-side.
+	counter("hummer_stream_produced_rows_total", "Rows pushed into stream chunk channels by producers.", plan.StreamProducedRows())
+	stall := plan.StreamStallSnapshot()
+	fmt.Fprintf(&b, "# HELP hummer_stream_consumer_stall_seconds Time stream producers spent blocked on a full chunk channel.\n")
+	fmt.Fprintf(&b, "# TYPE hummer_stream_consumer_stall_seconds histogram\n")
+	{
+		var cum uint64
+		for i, bound := range stall.Bounds {
+			cum += stall.Buckets[i]
+			fmt.Fprintf(&b, "hummer_stream_consumer_stall_seconds_bucket{le=%q} %d\n", formatBound(bound), cum)
+		}
+		fmt.Fprintf(&b, "hummer_stream_consumer_stall_seconds_bucket{le=\"+Inf\"} %d\n", stall.Count)
+		fmt.Fprintf(&b, "hummer_stream_consumer_stall_seconds_sum %s\n", formatFloat(stall.Seconds))
+		fmt.Fprintf(&b, "hummer_stream_consumer_stall_seconds_count %d\n", stall.Count)
+	}
+
+	// Go runtime health: cheap reads, scraped alongside everything else
+	// so a latency regression can be correlated with GC or goroutine
+	// leaks without attaching pprof.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("hummer_goroutines", "Goroutines currently live.", float64(runtime.NumGoroutine()))
+	gauge("hummer_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc))
+	counter("hummer_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
+	fmt.Fprintf(&b, "# HELP hummer_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n# TYPE hummer_gc_pause_seconds_total counter\n%s %s\n",
+		"hummer_gc_pause_seconds_total", formatFloat(float64(ms.PauseTotalNs)/float64(time.Second)))
 
 	counter("hummer_db_queries_total", "Statements executed by the DB (all entry points).", st.Queries)
 	counter("hummer_db_fuse_queries_total", "Statements that ran the fusion pipeline.", st.FuseQueries)
