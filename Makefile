@@ -25,15 +25,17 @@ GO ?= go
 # concurrent-DB.Query byte-identity test; plan and core carry the
 # ctx-threaded pipeline (cancellation joins worker goroutines, the
 # fused-result tier shares results across queries), so ctx-misuse
-# regressions surface here.
+# regressions surface here; engine carries the batched parallel
+# hash-join probe.
 RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
-	./internal/qcache ./internal/server ./internal/plan ./internal/core
+	./internal/qcache ./internal/server ./internal/plan ./internal/core \
+	./internal/engine
 
 # Packages held to the coverage floor (matching + detection core).
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
 COVER_FLOOR = 70
 
-.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short serve loadtest obs-bench profile
+.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short bench-join serve loadtest obs-bench profile
 
 check: fmtcheck vet build test race race-stream chaos cover bench-short obs-bench loadtest
 
@@ -111,6 +113,13 @@ bench-short:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Parallel-join perf gate: fails if the batched parallel probe
+# regresses more than 10% (plus a small scheduler-noise slack) against
+# the sequential streaming probe on the same workload. Timing-based,
+# so it runs on demand rather than in `check`.
+bench-join:
+	HUMMER_BENCH_JOIN=1 $(GO) test -count=1 -run TestParallelJoinRegression -v ./internal/engine
 
 # Tracing-overhead gate: the no-op span path must stay at zero
 # allocations (the test asserts it) and the benchmark keeps the number

@@ -16,8 +16,15 @@
 //	-json alias=path     register a JSON source (repeatable)
 //	-xml alias=path:tag  register an XML source (repeatable)
 //	-cache N             artifact-cache capacity in entries (0 = default)
-//	-parallel N          duplicate-detection workers (0 = GOMAXPROCS)
-//	-match-parallel N    schema-matching workers (0 = GOMAXPROCS)
+//	-parallelism N       unified parallelism: concurrent batch
+//	                     statements, hash-join probe workers, and the
+//	                     default for -parallel / -match-parallel
+//	                     (0 = GOMAXPROCS; 1 = fully sequential;
+//	                     results are byte-identical at every setting)
+//	-parallel N          duplicate-detection workers (0 = inherit
+//	                     -parallelism)
+//	-match-parallel N    schema-matching workers (0 = inherit
+//	                     -parallelism)
 //	-query-timeout D     per-query execution bound (default 60s; 0 = none);
 //	                     an elapsed timeout cancels the pipeline
 //	                     mid-flight and returns 504
@@ -91,8 +98,10 @@ func run(args []string) error {
 	fs.Var(&jsons, "json", "alias=path of a JSON source (repeatable)")
 	fs.Var(&xmls, "xml", "alias=path:recordTag of an XML source (repeatable)")
 	cacheCap := fs.Int("cache", 0, "artifact-cache capacity in entries (0 = default)")
-	parallel := fs.Int("parallel", 0, "duplicate-detection workers (0 = GOMAXPROCS)")
-	matchParallel := fs.Int("match-parallel", 0, "schema-matching workers (0 = GOMAXPROCS)")
+	parallelism := fs.Int("parallelism", 0,
+		"unified parallelism: concurrent batch statements, hash-join probe workers and the default for -parallel/-match-parallel (0 = GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "duplicate-detection workers (0 = inherit -parallelism)")
+	matchParallel := fs.Int("match-parallel", 0, "schema-matching workers (0 = inherit -parallelism)")
 	queryTimeout := fs.Duration("query-timeout", 60*time.Second,
 		"per-query execution bound; an elapsed timeout cancels the pipeline mid-flight (504). 0 disables")
 	maxInflight := fs.Int("max-inflight", 0,
@@ -128,6 +137,7 @@ func run(args []string) error {
 	}
 
 	db := hummer.New(hummer.WithCacheCapacity(*cacheCap))
+	db.SetParallelism(*parallelism)
 	db.SetDetectConfig(hummer.DetectionConfig{Parallelism: *parallel})
 	db.SetMatchConfig(hummer.MatchConfig{Parallelism: *matchParallel})
 	for _, spec := range csvs {

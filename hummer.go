@@ -38,6 +38,7 @@ import (
 	"hummer/internal/fusion"
 	"hummer/internal/lineage"
 	"hummer/internal/metadata"
+	"hummer/internal/parshard"
 	"hummer/internal/plan"
 	"hummer/internal/qcache"
 	"hummer/internal/relation"
@@ -168,6 +169,7 @@ type DB struct {
 	mu                sync.RWMutex
 	detect            dupdetect.Config
 	match             dumas.Config
+	parallelism       int
 	onCorrespondences func(sourceAlias string, proposed []dumas.Correspondence) []dumas.Correspondence
 	onAttributes      func(proposed []string) []string
 	onDuplicates      func(det *dupdetect.Result, merged *relation.Relation) []int
@@ -190,6 +192,12 @@ func WithCacheCapacity(n int) Option {
 // matching and detection from scratch (the seed behaviour).
 func WithoutCache() Option {
 	return func(db *DB) { db.cache = nil }
+}
+
+// WithParallelism sets the unified parallelism knob at construction —
+// the construction-time form of SetParallelism.
+func WithParallelism(n int) Option {
+	return func(db *DB) { db.parallelism = n }
 }
 
 // New creates an empty HumMer instance with the built-in resolution
@@ -243,6 +251,7 @@ func (db *DB) newExecutor(cfg *queryConfig) *plan.Executor {
 		Detect:   db.detect,
 		Match:    db.match,
 		Cache:    db.cache,
+		Parallel: db.parallelism,
 	}
 	if cfg != nil {
 		if cfg.detect != nil {
@@ -510,24 +519,32 @@ type BatchResult struct {
 	Elapsed time.Duration
 }
 
-// QueryBatch executes several statements in order over one
-// configuration snapshot, returning a result (or error) per
-// statement. Options apply to every statement; WithTimeout becomes a
+// QueryBatch executes several statements over one configuration
+// snapshot, returning a result (or error) per statement, in statement
+// order. Statements run concurrently, bounded by the unified
+// parallelism knob (SetParallelism; 0 = GOMAXPROCS, 1 = strictly
+// sequential, the historical behaviour). Concurrency is invisible in
+// the results: each statement is independent, and statements sharing
+// pipeline artifacts or source subtrees share one computation through
+// the cache's singleflight instead of racing — a batch over
+// overlapping sources does one match/detect/scan pass, not N.
+// Options apply to every statement; WithTimeout becomes a
 // *per-statement* deadline over the PR-4 context substrate — a slow
 // statement is cancelled mid-pipeline without eating the budget of
-// the statements after it. Cancelling ctx aborts the rest of the
-// batch: undone statements report ctx's error.
+// the statements after it. Cancelling ctx aborts the statements not
+// yet started: they report ctx's error.
 func (db *DB) QueryBatch(ctx context.Context, stmts []string, opts ...QueryOption) []BatchResult {
 	cfg := resolveOptions(opts)
 	ex := db.newExecutor(&cfg)
 	out := make([]BatchResult, len(stmts))
-	for i, q := range stmts {
+	run := func(i int) {
+		q := stmts[i]
 		out[i].SQL = q
 		if err := ctx.Err(); err != nil {
 			out[i].Err = err
 			db.queries.Add(1)
 			db.queryErrors.Add(1)
-			continue
+			return
 		}
 		start := time.Now()
 		res, err := ex.QueryWith(ctx, q, cfg.exec())
@@ -536,13 +553,37 @@ func (db *DB) QueryBatch(ctx context.Context, stmts []string, opts ...QueryOptio
 		if err != nil {
 			out[i].Err = err
 			db.queryErrors.Add(1)
-			continue
+			return
 		}
 		out[i].Result = res
 		if res.Summary != nil {
 			db.fuseQueries.Add(1)
 		}
 	}
+	db.mu.RLock()
+	workers := parshard.Workers(db.parallelism)
+	db.mu.RUnlock()
+	if workers > len(stmts) {
+		workers = len(stmts)
+	}
+	if workers <= 1 {
+		for i := range stmts {
+			run(i)
+		}
+		return out
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range stmts {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
 	return out
 }
 
@@ -567,6 +608,21 @@ func (db *DB) SetDetectConfig(cfg DetectionConfig) {
 func (db *DB) SetMatchConfig(cfg MatchConfig) {
 	db.mu.Lock()
 	db.match = cfg
+	db.mu.Unlock()
+}
+
+// SetParallelism installs the unified parallelism knob: the number of
+// concurrently executing statements in a QueryBatch, the probe-side
+// worker count of plain-SQL hash joins, and the default Parallelism
+// for the match and detect phases when their configs leave it 0
+// (SetDetectConfig/SetMatchConfig and per-query overrides still win).
+// 0 means GOMAXPROCS; 1 forces fully sequential execution. Results
+// are byte-identical at every setting — parallelism only changes
+// wall-clock time. In-flight queries keep the value they started
+// with.
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	db.parallelism = n
 	db.mu.Unlock()
 }
 
@@ -664,6 +720,14 @@ type Stats struct {
 	// singleflight-share/eviction counters. The zero value when the
 	// cache is disabled.
 	Cache CacheStats `json:"cache"`
+	// CSEShared / CSEUnique count plain-SQL source subtrees resolved
+	// through the planner's cross-statement CSE tier: Shared are
+	// resolutions served from (or piggybacked on) another statement's
+	// materialization, Unique are the ones that had to materialize.
+	// Derived from the cache's cse kind; zero when the cache is
+	// disabled.
+	CSEShared uint64 `json:"cse_shared"`
+	CSEUnique uint64 `json:"cse_unique"`
 }
 
 // Stats snapshots the DB's counters. It is cheap: no sources are
@@ -679,6 +743,10 @@ func (db *DB) Stats() Stats {
 	}
 	if db.cache != nil {
 		st.Cache = db.cache.Stats()
+		if ks, ok := st.Cache.Kinds[qcache.KindCSE]; ok {
+			st.CSEShared = ks.Hits + ks.Shared
+			st.CSEUnique = ks.Misses
+		}
 	}
 	return st
 }

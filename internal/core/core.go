@@ -69,6 +69,12 @@ type Options struct {
 	Match dumas.Config
 	// Detect tunes duplicate detection.
 	Detect dupdetect.Config
+	// Parallelism is the unified query-level parallelism knob: the
+	// default worker count for the match and detect phases when their
+	// configs leave Parallelism at 0. A phase config's own setting
+	// always wins. 0 defers to each phase's default (GOMAXPROCS).
+	// Results are byte-identical at every setting.
+	Parallelism int
 }
 
 // Result carries every intermediate of the run, mirroring the demo's
@@ -192,6 +198,18 @@ func (p *Pipeline) RunContext(ctx context.Context, aliases []string, opts Option
 	reg := p.Registry
 	if reg == nil {
 		reg = fusion.NewRegistry()
+	}
+	// Unified parallelism: a phase config's own Parallelism wins;
+	// zero inherits the query-level knob. Applying the default here —
+	// before the phases fingerprint their configs for the cache —
+	// keeps the effective worker count and the cache key consistent.
+	if opts.Parallelism != 0 {
+		if opts.Match.Parallelism == 0 {
+			opts.Match.Parallelism = opts.Parallelism
+		}
+		if opts.Detect.Parallelism == 0 {
+			opts.Detect.Parallelism = opts.Parallelism
+		}
 	}
 	ctx, psp := obs.StartSpan(ctx, "pipeline")
 	defer psp.End()

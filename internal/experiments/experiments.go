@@ -994,6 +994,7 @@ func All(seed int64) []*Report {
 		E14(seed, e14Entities, e14WarmQueries, e14Clients),
 		E15(seed, e15QuickSizes),
 		E16(seed, e16Requests, e16Concurrency),
+		E17(seed, e17Seeds),
 	}
 }
 
@@ -1028,6 +1029,8 @@ func ByID(id string, seed int64) *Report {
 		return E15(seed, e15QuickSizes)
 	case "e16":
 		return E16(seed, e16Requests, e16Concurrency)
+	case "e17":
+		return E17(seed, e17Seeds)
 	default:
 		return nil
 	}
@@ -1035,7 +1038,7 @@ func ByID(id string, seed int64) *Report {
 
 // IDs lists the experiment ids ByID accepts, in canonical run order.
 func IDs() []string {
-	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"}
+	return []string{"e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"}
 }
 
 func minInt(a, b int) int {

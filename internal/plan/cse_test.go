@@ -1,0 +1,188 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hummer/internal/qcache"
+)
+
+func cseStats(e *Executor) qcache.KindStats {
+	return e.Cache.Stats().Kinds[qcache.KindCSE]
+}
+
+// TestCSESharesSourceSubtree is the cross-statement CSE contract:
+// statements that differ only above the source subtree (projection,
+// ordering, aggregation) share one materialized FROM/JOIN/WHERE
+// intermediate — one scan/join/filter pass for the lot.
+func TestCSESharesSourceSubtree(t *testing.T) {
+	e := testExecutor(t)
+	e.Cache = qcache.New(0)
+	queries := []string{
+		"SELECT oid, city FROM orders JOIN custs ON cust = cname WHERE qty > 1 ORDER BY oid",
+		"SELECT city FROM orders JOIN custs ON cust = cname WHERE qty > 1",
+		"SELECT cust, count(*) AS n FROM orders JOIN custs ON cust = cname WHERE qty > 1 GROUP BY cust",
+	}
+	for _, q := range queries {
+		if _, err := e.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	ks := cseStats(e)
+	if ks.Misses != 1 {
+		t.Errorf("cse misses = %d, want 1 (one materialization pass)", ks.Misses)
+	}
+	if ks.Hits != uint64(len(queries)-1) {
+		t.Errorf("cse hits = %d, want %d", ks.Hits, len(queries)-1)
+	}
+}
+
+// TestCSEKeySeparatesSubtrees pins the keying rules: a different
+// predicate, a different join column or different source *content*
+// each address a different subtree.
+func TestCSEKeySeparatesSubtrees(t *testing.T) {
+	e := testExecutor(t)
+	e.Cache = qcache.New(0)
+	for _, q := range []string{
+		"SELECT oid FROM orders WHERE qty > 1",
+		"SELECT oid FROM orders WHERE qty > 2",
+		"SELECT oid FROM orders JOIN custs ON cust = cname WHERE qty > 1",
+	} {
+		if _, err := e.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	ks := cseStats(e)
+	if ks.Misses != 3 || ks.Hits != 0 {
+		t.Errorf("misses/hits = %d/%d, want 3/0 (distinct subtrees must not share)", ks.Misses, ks.Hits)
+	}
+}
+
+// TestCSEIneligibleBareScan: a single-table scan without WHERE does no
+// subtree work worth caching — the registered relation already is the
+// shared intermediate — so it must not touch the tier.
+func TestCSEIneligibleBareScan(t *testing.T) {
+	e := testExecutor(t)
+	e.Cache = qcache.New(0)
+	if _, err := e.Query("SELECT oid FROM orders ORDER BY oid"); err != nil {
+		t.Fatal(err)
+	}
+	ks := cseStats(e)
+	if ks.Misses != 0 && ks.Hits != 0 {
+		t.Errorf("bare scan touched the CSE tier: %+v", ks)
+	}
+}
+
+// TestCSESameStatementReuse is the double-materialization fix: one
+// statement whose scan feeds both the WHERE filter and the projection
+// resolves the subtree once, and an identical statement later reuses
+// the very same intermediate (hit, not a second pass).
+func TestCSESameStatementReuse(t *testing.T) {
+	e := testExecutor(t)
+	e.Cache = qcache.New(0)
+	const q = "SELECT oid, qty FROM orders WHERE qty > 1"
+	a, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rel.String() != b.Rel.String() {
+		t.Error("shared subtree changed the result")
+	}
+	ks := cseStats(e)
+	if ks.Misses != 1 || ks.Hits != 1 {
+		t.Errorf("misses/hits = %d/%d, want 1/1", ks.Misses, ks.Hits)
+	}
+}
+
+// TestCSEPurgeDropsSharing: Purge drops completed CSE entries like
+// any other artifact kind — the next statement re-materializes.
+func TestCSEPurgeDropsSharing(t *testing.T) {
+	e := testExecutor(t)
+	e.Cache = qcache.New(0)
+	const q = "SELECT oid FROM orders WHERE qty > 1"
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	e.Cache.Purge()
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if ks := cseStats(e); ks.Misses != 2 {
+		t.Errorf("misses = %d, want 2 after purge", ks.Misses)
+	}
+}
+
+// TestCSEConcurrentSingleflight: concurrent identical statements share
+// one materialization through the singleflight — exactly one miss,
+// the rest hits or in-flight shares — and all results byte-identical.
+func TestCSEConcurrentSingleflight(t *testing.T) {
+	e := testExecutor(t)
+	e.Cache = qcache.New(0)
+	const q = "SELECT oid, city FROM orders JOIN custs ON cust = cname WHERE qty > 0 ORDER BY oid"
+	want, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Cache.Purge()
+	const n = 8
+	results := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Query(q)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = res.Rel.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if results[i] != want.Rel.String() {
+			t.Errorf("query %d result differs", i)
+		}
+	}
+	ks := cseStats(e)
+	if ks.Misses != 2 { // the warm-up miss + exactly one for the concurrent wave
+		t.Errorf("misses = %d, want 2 (singleflight must collapse the wave)", ks.Misses)
+	}
+	if got := ks.Hits + ks.Shared; got != n-1 {
+		t.Errorf("hits+shared = %d, want %d (everyone but the wave's leader)", got, n-1)
+	}
+}
+
+// TestCSEParallelJoinByteIdentity: the executor-level knob — the same
+// join statement at worker counts 1, 2 and 7 yields byte-identical
+// tables, through both the CSE tier and fresh materializations.
+func TestCSEParallelJoinByteIdentity(t *testing.T) {
+	const q = "SELECT oid, city FROM orders JOIN custs ON cust = cname ORDER BY oid"
+	var want string
+	for _, workers := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			e := testExecutor(t)
+			e.Cache = qcache.New(0)
+			e.Parallel = workers
+			res, err := e.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == "" {
+				want = res.Rel.String()
+			} else if res.Rel.String() != want {
+				t.Errorf("workers=%d output differs:\n%s\nvs\n%s", workers, res.Rel, want)
+			}
+		})
+	}
+}

@@ -113,6 +113,13 @@ type Executor struct {
 	// handed to pipelines built here so the match/detect phases reuse
 	// artifacts across queries.
 	Cache *qcache.Cache
+	// Parallel is the unified parallelism knob (the public API's
+	// Config.Parallelism): the hash-join probe worker count and the
+	// default for the match/detect phases when their configs leave
+	// Parallelism unset. 0 means GOMAXPROCS; 1 forces sequential.
+	// Results are byte-identical at every setting — parallelism is a
+	// wall-clock knob only.
+	Parallel int
 }
 
 // maxCachedPlanBytes bounds the statement text retained as a plan
@@ -222,10 +229,11 @@ func (e *Executor) executeFusion(ctx context.Context, stmt *sql.Stmt, raw string
 	}
 
 	opts := core.Options{
-		FuseBy: stmt.FuseBy,
-		Where:  stmt.Where,
-		Detect: e.Detect,
-		Match:  e.Match,
+		FuseBy:      stmt.FuseBy,
+		Where:       stmt.Where,
+		Detect:      e.Detect,
+		Match:       e.Match,
+		Parallelism: e.Parallel,
 	}
 	// SELECT list → fusion output items. The * wildcard appends "all
 	// attributes present in the sources" (§2.1) not already selected.
@@ -503,9 +511,11 @@ func stableSortTagged[T any](rows []T, cmp func(a, b T) int) {
 
 // executePlain materializes a plain statement's operator tree,
 // checking ctx at row strides so a cancelled statement stops
-// mid-scan, not only at entry.
+// mid-scan, not only at entry. The materializing path shares eligible
+// source subtrees through the CSE tier (share=true): the result was
+// going to be materialized anyway, so sharing the subtree is free.
 func (e *Executor) executePlain(ctx context.Context, stmt *sql.Stmt) (*QueryResult, error) {
-	op, err := e.buildPlain(stmt)
+	op, err := e.buildPlain(ctx, stmt, true)
 	if err != nil {
 		return nil, err
 	}
@@ -518,40 +528,13 @@ func (e *Executor) executePlain(ctx context.Context, stmt *sql.Stmt) (*QueryResu
 
 // buildPlain turns a plain SELECT statement into its (unopened)
 // operator tree — shared by the materializing and streaming paths.
-func (e *Executor) buildPlain(stmt *sql.Stmt) (engine.Operator, error) {
-	var op engine.Operator
-	for i, t := range stmt.Tables {
-		rel, err := e.Repo.Get(t.Name)
-		if err != nil {
-			return nil, err
-		}
-		scan := engine.Operator(engine.NewScan(rel))
-		if i == 0 {
-			op = scan
-			continue
-		}
-		cross, err := engine.NewCross(op, scan)
-		if err != nil {
-			return nil, err
-		}
-		op = cross
-	}
-	if op == nil {
-		return nil, fmt.Errorf("plan: no tables")
-	}
-	for _, j := range stmt.Joins {
-		rel, err := e.Repo.Get(j.Table.Name)
-		if err != nil {
-			return nil, err
-		}
-		join, err := engine.NewHashJoin(op, engine.NewScan(rel), j.LeftCol, j.RightCol)
-		if err != nil {
-			return nil, err
-		}
-		op = join
-	}
-	if stmt.Where != nil {
-		op = engine.NewFilter(op, stmt.Where)
+// share enables the cross-statement CSE tier for the source subtree
+// (see buildSource); the streaming path keeps it off to preserve
+// genuine row-at-a-time streaming.
+func (e *Executor) buildPlain(ctx context.Context, stmt *sql.Stmt, share bool) (engine.Operator, error) {
+	op, err := e.buildSource(ctx, stmt, share)
+	if err != nil {
+		return nil, err
 	}
 
 	hasAgg := false

@@ -81,6 +81,17 @@ const (
 	// resolution-registry version). A hit on this tier skips matching,
 	// detection, merging and fusion entirely.
 	KindFused Kind = "fused"
+	// KindCSE is a materialized plain-SQL source subtree (the scans,
+	// crosses, joins and WHERE filter below the projection) shared
+	// across statements whose plans contain the same subtree — the
+	// planner's cross-statement common-subexpression tier. Keyed by
+	// the subtree fingerprint: the sources' content fingerprints
+	// (child fingerprints), the operator shape (join columns,
+	// predicate rendering) and a key-schema version tag. A hit serves
+	// the already-materialized intermediate; concurrent statements
+	// containing the same subtree share one scan/join/filter pass
+	// through the singleflight.
+	KindCSE Kind = "cse"
 )
 
 // Key addresses one artifact.
@@ -535,6 +546,20 @@ func FusedKey(planFP string, sourceFPs []string, cfgFP string) Key {
 	}
 	writePart(cfgFP)
 	return Key{Kind: KindFused, Fingerprint: b.String()}
+}
+
+// CSEKey builds the cache key of a materialized plain-SQL source
+// subtree from its rendered shape parts, bottom-up: scan parts carry
+// the sources' content fingerprints, join parts their build-side
+// fingerprint and column pair, the where part the predicate
+// rendering. Each part is length-prefixed, like FusedKey's, so no
+// concatenation of one subtree's parts can collide with another's.
+func CSEKey(parts ...string) Key {
+	var b strings.Builder
+	for _, p := range parts {
+		fmt.Fprintf(&b, "%d:%s|", len(p), p)
+	}
+	return Key{Kind: KindCSE, Fingerprint: b.String()}
 }
 
 func putUint64(buf *[8]byte, v uint64) {

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hummer"
+)
+
+// TestBatchOverlappingSourcesOnePass is the planner-layer acceptance
+// test end to end: a concurrent /v1/batch over overlapping sources
+// runs ONE schema-matching pass, ONE duplicate-detection pass and ONE
+// materialization of the shared plain-SELECT source subtree — not one
+// per statement — observable through the cache and CSE counters on
+// /v1/stats, and the CSE counters are exported on /metrics.
+func TestBatchOverlappingSourcesOnePass(t *testing.T) {
+	db := hummer.New()
+	db.SetParallelism(4)
+	ts := httptest.NewServer(New(db).Handler())
+	t.Cleanup(ts.Close)
+	registerStudents(t, ts)
+
+	batch := batchRequest{Statements: []string{
+		// Two fusion statements over the same source pair: matching and
+		// detection artifacts are shared, whatever the resolution.
+		`SELECT Name, RESOLVE(Age, max) FUSE FROM EE_Student, CS_Students FUSE BY (Name) ORDER BY Name`,
+		`SELECT Name, RESOLVE(Age, min) FUSE FROM EE_Student, CS_Students FUSE BY (Name) ORDER BY Name`,
+		// Three plain statements over one FROM/JOIN/WHERE subtree: the
+		// CSE tier materializes it once and shares the intermediate.
+		`SELECT Name, Town FROM EE_Student JOIN CS_Students ON Name = FullName WHERE Age > 20 ORDER BY Name`,
+		`SELECT Town FROM EE_Student JOIN CS_Students ON Name = FullName WHERE Age > 20`,
+		`SELECT count(*) AS n FROM EE_Student JOIN CS_Students ON Name = FullName WHERE Age > 20`,
+	}}
+	status, body := doJSON(t, ts, http.MethodPost, "/v1/batch", batch)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", status, body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("batch response: %v in %s", err, body)
+	}
+	if len(resp.Results) != len(batch.Statements) {
+		t.Fatalf("results = %d, want %d", len(resp.Results), len(batch.Statements))
+	}
+	for i, r := range resp.Results {
+		if r.Error != "" {
+			t.Fatalf("statement %d failed: %s", i, r.Error)
+		}
+	}
+
+	kinds := cacheKinds(t, ts)
+	for _, kind := range []string{"match", "detect"} {
+		if ks := kinds[kind]; ks.Misses != 1 {
+			t.Errorf("%s misses = %d, want 1 (one pass for the whole batch); counters %+v",
+				kind, ks.Misses, ks)
+		}
+	}
+
+	status, body = doJSON(t, ts, http.MethodGet, "/v1/stats", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", status, body)
+	}
+	var stats struct {
+		CSEShared uint64 `json:"cse_shared_total"`
+		CSEUnique uint64 `json:"cse_unique_total"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats: %v in %s", err, body)
+	}
+	if stats.CSEUnique != 1 {
+		t.Errorf("cse_unique_total = %d, want 1 (one materialization of the shared subtree)", stats.CSEUnique)
+	}
+	if stats.CSEShared != 2 {
+		t.Errorf("cse_shared_total = %d, want 2 (two statements reused it)", stats.CSEShared)
+	}
+
+	status, metrics := doJSON(t, ts, http.MethodGet, "/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("metrics: status %d", status)
+	}
+	for _, want := range []string{"hummer_cse_shared_total 2", "hummer_cse_unique_total 1"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

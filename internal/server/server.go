@@ -481,7 +481,14 @@ type statsResponse struct {
 	// query tracing, keyed by phase name ("plan", "match.score", …).
 	// Empty until the first traced query completes.
 	Phases map[string]LatencySummary `json:"phases"`
-	DB     hummer.Stats              `json:"db"`
+	// CSESharedTotal / CSEUniqueTotal mirror the /metrics counters of
+	// the planner's cross-statement CSE tier: source subtrees served
+	// from (or piggybacked on) another statement's materialization vs
+	// subtrees that had to materialize. Their ratio is the batch
+	// sharing rate E17 verifies.
+	CSESharedTotal uint64       `json:"cse_shared_total"`
+	CSEUniqueTotal uint64       `json:"cse_unique_total"`
+	DB             hummer.Stats `json:"db"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -490,6 +497,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for name, h := range s.phaseSnapshots() {
 		phases[name] = h.summary()
 	}
+	dbStats := s.db.Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSeconds:         time.Since(s.start).Seconds(),
 		Requests:              s.requests.Load(),
@@ -518,8 +526,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"stream": s.latStream.summary(),
 			"batch":  s.latBatch.summary(),
 		},
-		Phases: phases,
-		DB:     s.db.Stats(),
+		Phases:         phases,
+		CSESharedTotal: dbStats.CSEShared,
+		CSEUniqueTotal: dbStats.CSEUnique,
+		DB:             dbStats,
 	})
 }
 
@@ -1396,6 +1406,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cacheCounter("hummer_cache_evictions_total", "Artifact-cache entries evicted to respect the capacity.",
 			func(ks qcache.KindStats) uint64 { return ks.Evictions })
 	}
+
+	counter("hummer_cse_shared_total",
+		"Plain-SQL source subtrees served from (or piggybacked on) another statement's materialization.",
+		st.CSEShared)
+	counter("hummer_cse_unique_total",
+		"Plain-SQL source subtrees that had to materialize (one scan/join/filter pass each).",
+		st.CSEUnique)
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
