@@ -1,10 +1,15 @@
 # HumMer build / verify entry points.
 #
-#   make check   — everything CI needs: formatting, vet, build, tests,
-#                  the race detector on the parallel and serving
-#                  packages, the chaos fault-storm, the coverage
-#                  floor, and the perf-acceptance benchmarks in short
-#                  mode.
+#   make check   — everything CI needs: formatting, vet, the hummer
+#                  contract linter, build, tests, the race detector on
+#                  the parallel and serving packages, the chaos
+#                  fault-storm, the coverage floor, and the
+#                  perf-acceptance benchmarks in short mode.
+#   make lint    — the repo's own static-analysis suite
+#                  (cmd/hummer-lint): panic containment on every
+#                  goroutine, determinism bans in result-producing
+#                  packages, ctx discipline, sync/atomic mixing, and
+#                  error-wrapping hygiene.
 #   make chaos   — the fault-injection chaos suite under -race: a
 #                  server hammered by concurrent mixed queries while a
 #                  fixed-seed fault schedule fires panics, errors and
@@ -35,9 +40,9 @@ RACE_PKGS = . ./internal/parshard ./internal/dupdetect ./internal/dumas \
 COVER_PKGS = ./internal/dumas ./internal/dupdetect ./internal/assign ./internal/strsim
 COVER_FLOOR = 70
 
-.PHONY: check fmtcheck fmt vet build test race race-stream chaos cover bench bench-short bench-join serve loadtest obs-bench profile
+.PHONY: check fmtcheck fmt vet lint build test race race-stream chaos cover bench bench-short bench-join serve loadtest obs-bench profile
 
-check: fmtcheck vet build test race race-stream chaos cover bench-short obs-bench loadtest
+check: fmtcheck vet lint build test race race-stream chaos cover bench-short obs-bench loadtest
 
 fmtcheck:
 	@unformatted=$$(gofmt -l .); \
@@ -50,6 +55,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's contracts as code: five analyzers (containment,
+# determinism, ctx, atomicmix, errwrap) over the whole module. Exit 1
+# on findings; suppression needs //lint:ignore hummer/<rule> <reason>.
+lint:
+	$(GO) run ./cmd/hummer-lint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRulesListing(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-rules"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -rules = %d, want 0 (stderr: %s)", code, errOut.String())
+	}
+	for _, rule := range []string{"hummer/containment", "hummer/determinism", "hummer/ctx", "hummer/atomicmix", "hummer/errwrap"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-rules output missing %s:\n%s", rule, out.String())
+		}
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", "../..", "./internal/lint/testdata/src/ctx"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run over ctx fixture = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[hummer/ctx]") {
+		t.Errorf("findings output missing [hummer/ctx]:\n%s", out.String())
+	}
+}
+
+func TestCleanExitZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", "../..", "./internal/fault"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run over internal/fault = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+func TestLoadErrorExitTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-dir", "../..", "./internal/does-not-exist"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("run over missing package = %d, want 2", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("load error produced no diagnostics on stderr")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-dir", "../..", "./internal/lint/testdata/src/ctx"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run -json over ctx fixture = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || !strings.HasPrefix(f.Rule, "hummer/") || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+}

@@ -580,6 +580,16 @@ func (db *DB) QueryBatch(ctx context.Context, stmts []string, opts ...QueryOptio
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Containment boundary: a panicking statement becomes its
+			// own BatchResult error, never a dead process (the
+			// sequential path below panics on the caller's goroutine,
+			// where the caller's own recovery applies).
+			defer func() {
+				if r := recover(); r != nil {
+					out[i].Err = fault.NewInternal("hummer.batch", r)
+					db.queryErrors.Add(1)
+				}
+			}()
 			run(i)
 		}(i)
 	}

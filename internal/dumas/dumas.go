@@ -227,6 +227,8 @@ func tupleText(row relation.Row) string {
 // Each left and right tuple participates in at most one returned pair:
 // a real-world entity should contribute one aligned observation, and
 // reusing a tuple would bias the averaged field matrix toward it.
+// It runs on a background context: it cannot be cancelled (MatchContext
+// is the cancellable entry point into duplicate search).
 func FindDuplicates(left, right *relation.Relation, maxDups int, minSim float64) []TuplePair {
 	dups, _, _ := findDuplicates(context.Background(), left, right, Config{MaxDuplicates: maxDups, MinTupleSim: minSim})
 	return dups

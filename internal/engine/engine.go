@@ -386,6 +386,10 @@ func (j *HashJoin) SetParallelism(n int) { j.workers = parshard.Workers(n) }
 // strides, exactly as for every other operator.
 func (j *HashJoin) SetSpanContext(ctx context.Context) { j.ctx = ctx }
 
+// spanCtx returns the span context installed by SetSpanContext, or a
+// background context when the join runs without tracing: the spans it
+// feeds are observability-only, and cancellation of the join itself is
+// the enclosing materialize/stream stride's job.
 func (j *HashJoin) spanCtx() context.Context {
 	if j.ctx != nil {
 		return j.ctx

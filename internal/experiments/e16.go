@@ -28,7 +28,8 @@ const (
 // request sequence (the fingerprint in the notes certifies it), so
 // runs of this experiment are comparable across the perf trajectory.
 // cmd/hummer-loadgen emits this same experiment against a live
-// hummerd over the network.
+// hummerd over the network. Experiments run on a background context:
+// a bench run is never cancelled mid-measurement.
 func E16(seed int64, requests, concurrency int) *Report {
 	fail := func(msg string, err error) *Report {
 		return &Report{ID: "E16", Title: "loadgen traffic mix against hummerd",

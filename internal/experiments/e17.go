@@ -58,7 +58,9 @@ func E17(seed int64, seeds int) *Report {
 }
 
 // e17Run measures one seed: the concurrent batch with its sharing
-// counters, then the sequential-vs-parallel join timing.
+// counters, then the sequential-vs-parallel join timing. Experiments
+// run on a background context: a bench run is never cancelled
+// mid-measurement.
 func e17Run(seed int64) ([]string, []BenchSample) {
 	stmts := []string{
 		`SELECT Name, RESOLVE(Age, max) FUSE FROM s1, s2 FUSE BY (Name) ORDER BY Name`,

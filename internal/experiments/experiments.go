@@ -24,6 +24,7 @@ import (
 	"hummer/internal/dumas"
 	"hummer/internal/dupdetect"
 	"hummer/internal/eval"
+	"hummer/internal/fault"
 	"hummer/internal/fusion"
 	"hummer/internal/loadgen"
 	"hummer/internal/metadata"
@@ -839,6 +840,17 @@ func E14(seed int64, entities, warmQueries, clients int) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Containment: a panicking client goroutine becomes the
+			// experiment's error row, not a dead bench run.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fault.NewInternal("experiments.e14", r)
+					}
+					mu.Unlock()
+				}
+			}()
 			for i := 0; i < warmQueries/clients; i++ {
 				warm, err := post()
 				mu.Lock()
@@ -868,6 +880,8 @@ func E14(seed int64, entities, warmQueries, clients int) *Report {
 // chunk at a time, so its allocation volume stays flat where the
 // materialized path grows with the result — the number that matters
 // once results stop fitting comfortably in one response buffer.
+// Experiments run on a background context: a bench run is never
+// cancelled mid-measurement.
 func E15(seed int64, sizes []int) *Report {
 	rep := &Report{
 		ID:     "E15",

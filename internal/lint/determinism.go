@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runDeterminism enforces the byte-identity contract in the
+// deterministic packages (Config.DeterministicPkgs): fusion results
+// must be identical at every worker count and run to run, so nothing
+// in those packages may let map iteration order, the wall clock, or an
+// unseeded RNG reach a result value.
+//
+// Three checks:
+//
+//   - a range over a map whose body appends to (or index-writes into) a
+//     slice declared outside the loop, or sends on a channel, is
+//     order-dependent — unless the written value is passed to a
+//     sort.*/slices.Sort* call later in the same function. Writes into
+//     other maps are order-insensitive and pass.
+//   - time.Now and time.Since are banned: wall-clock values must never
+//     feed deterministic computation. Metric-only timing needs a
+//     reasoned //lint:ignore hummer/determinism directive.
+//   - any use of math/rand (v1 or v2) is banned outside seeded
+//     constructors — a function with a parameter whose name contains
+//     "seed" is the one place randomness may be initialized.
+func runDeterminism(p *prog) []Finding {
+	var out []Finding
+	for _, pkg := range p.pkgs {
+		if !inList(p.cfg.DeterministicPkgs, pkg.ImportPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			out = append(out, detMapRanges(p, pkg, f)...)
+			out = append(out, detClockAndRand(p, pkg, f)...)
+		}
+	}
+	return out
+}
+
+func detClockAndRand(p *prog, pkg *Pkg, f *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pkg.Info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "time":
+			if obj.Name() == "Now" || obj.Name() == "Since" {
+				if !inSeededCtor(f, sel.Pos()) {
+					out = append(out, p.finding(sel.Pos(), "determinism",
+						"time.%s in deterministic package %s: wall-clock values must not reach results (metric-only timing needs a reasoned suppression)",
+						obj.Name(), pkg.ImportPath))
+				}
+			}
+		case "math/rand", "math/rand/v2":
+			if !inSeededCtor(f, sel.Pos()) {
+				out = append(out, p.finding(sel.Pos(), "determinism",
+					"%s.%s in deterministic package %s outside a seeded constructor",
+					obj.Pkg().Path(), obj.Name(), pkg.ImportPath))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// inSeededCtor reports whether pos sits inside a function whose
+// signature receives a seed — the sanctioned place to initialize
+// deterministic randomness.
+func inSeededCtor(f *ast.File, pos token.Pos) bool {
+	fd := enclosingDecl(f, pos)
+	if fd == nil || fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if strings.Contains(strings.ToLower(name.Name), "seed") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func detMapRanges(p *prog, pkg *Pkg, f *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pkg.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		scope := enclosingDecl(f, rs.Pos())
+		for _, v := range mapOrderWrites(pkg, rs) {
+			if v.obj != nil && scope != nil && sortedAfter(pkg, scope.Body, rs.End(), v.obj) {
+				continue
+			}
+			out = append(out, p.finding(rs.Pos(), "determinism",
+				"map iteration order reaches %s in deterministic package %s; sort the keys first or sort the result before it escapes",
+				v.what, pkg.ImportPath))
+		}
+		return true
+	})
+	return out
+}
+
+// orderWrite is one order-sensitive write found in a map-range body.
+type orderWrite struct {
+	what string
+	obj  types.Object // the written slice, when one can be named
+}
+
+// mapOrderWrites collects the order-sensitive writes in the body of a
+// map range: appends to slices declared outside the loop, index-writes
+// into outer slices, and channel sends.
+func mapOrderWrites(pkg *Pkg, rs *ast.RangeStmt) []orderWrite {
+	var writes []orderWrite
+	outer := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End())
+	}
+	seen := map[types.Object]bool{}
+	record := func(obj types.Object, what string) {
+		if obj != nil {
+			if seen[obj] {
+				return
+			}
+			seen[obj] = true
+		}
+		writes = append(writes, orderWrite{what: what, obj: obj})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			record(nil, "a channel send")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pkg.Info, call, "append") || i >= len(n.Lhs) {
+					continue
+				}
+				obj := exprObj(pkg.Info, n.Lhs[i])
+				if outer(obj) {
+					record(obj, "appended slice "+obj.Name())
+				}
+			}
+			for _, lhs := range n.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				t := pkg.Info.TypeOf(idx.X)
+				if t == nil {
+					continue
+				}
+				if _, isSlice := t.Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				obj := exprObj(pkg.Info, idx.X)
+				if outer(obj) {
+					record(obj, "indexed slice "+obj.Name())
+				}
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// sortCalls lists the order-restoring calls: a write is forgiven when
+// its target later flows through one of these in the same function.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func sortedAfter(pkg *Pkg, body *ast.BlockStmt, after token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after {
+			return !found
+		}
+		fn := calleeFunc(pkg.Info, call)
+		if fn == nil || fn.Pkg() == nil || !sortCalls[fn.Pkg().Path()][fn.Name()] {
+			return !found
+		}
+		for _, a := range call.Args {
+			if exprUsesObj(pkg.Info, a, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //lint:ignore comment. Suppression is
+// deliberately narrow: one rule, an explicit reason, and it applies
+// only to findings on its own line or the line directly below it.
+type directive struct {
+	pos    token.Position
+	rule   string // bare rule name after the hummer/ prefix
+	reason string
+	bad    string // non-empty: the directive itself is a finding
+}
+
+const directivePrefix = "lint:ignore"
+
+// parseDirective interprets one comment's text (without the // or /*
+// markers), returning nil when it is not a lint directive at all.
+func parseDirective(text string, pos token.Position, known map[string]bool) *directive {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, directivePrefix) {
+		return nil
+	}
+	d := &directive{pos: pos}
+	fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+	if len(fields) == 0 {
+		d.bad = "suppression directive needs a rule: //lint:ignore hummer/<rule> <reason>"
+		return d
+	}
+	ref := fields[0]
+	rule, ok := strings.CutPrefix(ref, "hummer/")
+	if !ok {
+		d.bad = "suppression directive rule must be qualified as hummer/<rule>, got " + quote(ref)
+		return d
+	}
+	if !known[rule] {
+		d.bad = "suppression directive names unknown rule " + quote(ref)
+		return d
+	}
+	d.rule = rule
+	d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	if d.reason == "" {
+		d.bad = "suppression directive for hummer/" + rule + " is missing its required reason"
+	}
+	return d
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// collectDirectives scans every comment in every file.
+func collectDirectives(fset *token.FileSet, pkgs []*Pkg) map[string]map[int]*directive {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	byFile := map[string]map[int]*directive{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSuffix(text, "*/")
+					pos := fset.Position(c.Pos())
+					d := parseDirective(text, pos, known)
+					if d == nil {
+						continue
+					}
+					m := byFile[pos.Filename]
+					if m == nil {
+						m = map[int]*directive{}
+						byFile[pos.Filename] = m
+					}
+					m[pos.Line] = d
+				}
+			}
+		}
+	}
+	return byFile
+}
+
+// applyDirectives drops findings covered by a well-formed directive on
+// the same or preceding line, and turns every malformed directive into
+// a finding of its own (rule "directive" — not itself suppressible).
+func applyDirectives(fset *token.FileSet, pkgs []*Pkg, findings []Finding) []Finding {
+	byFile := collectDirectives(fset, pkgs)
+	var kept []Finding
+	for _, f := range findings {
+		if d := lookupDirective(byFile, f.Pos); d != nil && d.bad == "" && d.rule == f.Rule {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, lines := range byFile {
+		for _, d := range lines {
+			if d.bad != "" {
+				kept = append(kept, Finding{Pos: d.pos, Rule: "directive", Msg: d.bad})
+			}
+		}
+	}
+	return kept
+}
+
+func lookupDirective(byFile map[string]map[int]*directive, pos token.Position) *directive {
+	lines := byFile[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	if d := lines[pos.Line]; d != nil {
+		return d
+	}
+	return lines[pos.Line-1]
+}

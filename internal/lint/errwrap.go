@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// runErrWrap enforces error wrapping in the packages whose errors
+// cross package boundaries (Config.ErrWrapPkgs): an error operand
+// formatted into fmt.Errorf must use %w — or the call replaced with a
+// typed error — never %v/%s/%q, which flatten the chain and sever
+// errors.Is/errors.As for every caller downstream.
+func runErrWrap(p *prog) []Finding {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var out []Finding
+	for _, pkg := range p.pkgs {
+		if !inList(p.cfg.ErrWrapPkgs, pkg.ImportPath) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isFunc(pkg.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+				if !ok {
+					return true
+				}
+				format, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				for _, va := range formatVerbs(format) {
+					if strings.ContainsRune("vsq", va.verb) && va.arg < len(call.Args)-1 {
+						arg := call.Args[1+va.arg]
+						t := pkg.Info.TypeOf(arg)
+						if t != nil && types.Implements(t, errType) {
+							out = append(out, p.finding(arg.Pos(), "errwrap",
+								"%%%c flattens an error operand; wrap with %%w (or return a typed error) so errors.Is/As keep working across packages",
+								va.verb))
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// verbArg pairs a format verb with the zero-based operand index it
+// consumes.
+type verbArg struct {
+	verb rune
+	arg  int
+}
+
+// formatVerbs maps each verb in a fmt format string to its operand.
+// It understands %%, flags, *-widths/precisions (which consume an
+// operand of their own) and explicit argument indexes like %[1]v.
+func formatVerbs(format string) []verbArg {
+	var out []verbArg
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// explicit argument index
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			num := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				num = num*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && num > 0 {
+				arg = num - 1
+				i = j + 1
+			}
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) {
+			out = append(out, verbArg{verb: rune(format[i]), arg: arg})
+			arg++
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Pkg is one type-checked package under analysis: its syntax trees
+// (comments included — the suppression directives live there) plus the
+// go/types objects the analyzers resolve identifiers against.
+type Pkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader loads packages for analysis. It is driven entirely off the
+// standard toolchain: `go list -deps -export -json` names every
+// package's files and compiled export data, the target packages are
+// parsed from source with go/parser, and their imports resolve through
+// go/importer's gc reader pointed at the export files — no external
+// dependencies, exactly like the module it checks.
+type Loader struct {
+	// Dir is the directory go list runs in (the module root, or any
+	// directory inside the module for relative patterns).
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	l := &Loader{Dir: dir, fset: token.NewFileSet(), exports: map[string]string{}}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// Fset returns the file set shared by everything this Loader loads.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go %s: %s", strings.Join(args[:2], " "), msg)
+	}
+	return out, nil
+}
+
+// lookup feeds the gc importer: export data recorded by Load, with an
+// on-demand `go list` fallback for paths first seen transitively (a
+// fixture package importing a stdlib package nothing else uses).
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		out, err := l.goList("list", "-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, fmt.Errorf("resolving %q: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		l.exports[path] = file
+	}
+	return os.Open(file)
+}
+
+// Load resolves the patterns with the go tool and returns the matched
+// packages parsed and type-checked. Test files are not loaded: the
+// contracts the analyzers enforce exempt tests by design.
+func (l *Loader) Load(patterns ...string) ([]*Pkg, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	var pkgs []*Pkg
+	for _, tgt := range targets {
+		pkg, err := l.check(tgt)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) check(tgt listPkg) (*Pkg, error) {
+	var files []*ast.File
+	for _, name := range tgt.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(tgt.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.importerFor()}
+	tpkg, err := conf.Check(tgt.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", tgt.ImportPath, err)
+	}
+	return &Pkg{
+		ImportPath: tgt.ImportPath,
+		Name:       tgt.Name,
+		Dir:        tgt.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// importerFor wraps the gc importer so the pseudo-package unsafe
+// resolves (it has no export data).
+func (l *Loader) importerFor() types.Importer {
+	return importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return l.imp.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRepoLintsClean runs the full analyzer suite over the whole
+// module — the same invocation `make lint` performs — and requires
+// zero findings. It doubles as the smoke bound from the roadmap: the
+// sweep must finish well inside 10s on a 1-CPU box so it can sit in
+// `make check` without being the slow step.
+func TestRepoLintsClean(t *testing.T) {
+	loader, err := moduleLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	start := time.Now()
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	var targets []*Pkg
+	for _, p := range pkgs {
+		// The fixtures under testdata/ are violations on purpose.
+		if strings.Contains(p.ImportPath, "/testdata/") {
+			continue
+		}
+		targets = append(targets, p)
+	}
+	if len(targets) < 10 {
+		t.Fatalf("only %d non-fixture packages loaded; pattern ./... is not covering the module", len(targets))
+	}
+	findings := Run(loader.Fset(), targets, DefaultConfig())
+	for _, f := range findings {
+		t.Errorf("repo not lint-clean: %s", f)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("full-module lint took %v, want <10s", elapsed)
+	}
+}

@@ -1,0 +1,86 @@
+// Package containment is a lint fixture: each site annotated with a
+// want comment must produce exactly that finding.
+package containment
+
+import (
+	"net/http"
+	"sync"
+
+	"hummer/internal/fault"
+)
+
+func work() {}
+
+func BadLiteral() {
+	go func() { // want `\[hummer/containment\] goroutine has no leading containment defer`
+		work()
+	}()
+}
+
+func BadNamed() {
+	go helper() // want `\[hummer/containment\] goroutine runs helper`
+}
+
+func helper() { work() }
+
+func BadDynamic(f func()) {
+	go f() // want `\[hummer/containment\] goroutine target cannot be verified`
+}
+
+func BadLateContainment() {
+	go func() { // want `\[hummer/containment\] goroutine has no leading containment defer`
+		work()
+		defer func() {
+			_ = recover()
+		}()
+	}()
+}
+
+func GoodCapture() {
+	var err error
+	go func() {
+		defer fault.Capture("containment.good", &err)
+		work()
+	}()
+}
+
+func GoodRecover() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				_ = fault.NewInternal("containment.worker", r)
+			}
+		}()
+		work()
+	}()
+	wg.Wait()
+}
+
+// GoodRepanic mirrors the HTTP middleware: a recover that rethrows a
+// sentinel is still a containment boundary and passes structurally.
+func GoodRepanic() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if r == http.ErrAbortHandler {
+					panic(r)
+				}
+				_ = fault.NewInternal("containment.repanic", r)
+			}
+		}()
+		work()
+	}()
+}
+
+func GoodNamed() {
+	go contained()
+}
+
+func contained() {
+	var err error
+	defer fault.Capture("containment.contained", &err)
+	work()
+}

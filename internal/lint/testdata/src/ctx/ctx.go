@@ -1,0 +1,36 @@
+// Package ctx is a lint fixture for the ctx-discipline rule.
+package ctx
+
+import "context"
+
+func Bad() context.Context {
+	return context.Background() // want `\[hummer/ctx\] context.Background\(\) in library code`
+}
+
+func BadTODO() context.Context {
+	return context.TODO() // want `\[hummer/ctx\] context.TODO\(\) in library code`
+}
+
+// Documented is Bad with a background context: it cannot be
+// cancelled, and the doc comment says so — which is the contract.
+func Documented() context.Context {
+	return context.Background()
+}
+
+func RunContext(ctx context.Context, n int) int { // want `\[hummer/ctx\] exported RunContext never uses its ctx parameter`
+	return n + 1
+}
+
+func DropContext(_ context.Context) int { // want `\[hummer/ctx\] exported DropContext discards its ctx parameter`
+	return 1
+}
+
+func GoodContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// FromContext-style helpers take a ctx but do not thread it onward;
+// using it at all satisfies the rule.
+func ValueContext(ctx context.Context) any {
+	return ctx.Value("k")
+}

@@ -1,0 +1,73 @@
+// Package determinism is a lint fixture for the byte-identity rule;
+// the test configures this package as deterministic.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `\[hummer/determinism\] map iteration order reaches appended slice keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func GoodSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func GoodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func BadSend(m map[string]int, ch chan string) {
+	for k := range m { // want `\[hummer/determinism\] map iteration order reaches a channel send`
+		ch <- k
+	}
+}
+
+func BadIndexWrite(m map[string]int, out []int) {
+	i := 0
+	for _, v := range m { // want `\[hummer/determinism\] map iteration order reaches indexed slice out`
+		out[i] = v
+		i++
+	}
+}
+
+func GoodIndexWriteSorted(m map[string]int, out []int) {
+	i := 0
+	for _, v := range m {
+		out[i] = v
+		i++
+	}
+	sort.Ints(out)
+}
+
+func BadNow() time.Time {
+	return time.Now() // want `\[hummer/determinism\] time.Now in deterministic package`
+}
+
+func BadSince(t time.Time) time.Duration {
+	return time.Since(t) // want `\[hummer/determinism\] time.Since in deterministic package`
+}
+
+func BadRand() int {
+	return rand.Int() // want `\[hummer/determinism\] math/rand.Int in deterministic package`
+}
+
+func GoodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,41 @@
+// Package errwrap is a lint fixture for the error-wrapping rule; the
+// test configures this package into the errwrap scope.
+package errwrap
+
+import "fmt"
+
+func Bad(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want `\[hummer/errwrap\] %v flattens an error operand`
+}
+
+func BadS(err error) error {
+	return fmt.Errorf("worker %d: %s", 3, err) // want `\[hummer/errwrap\] %s flattens an error operand`
+}
+
+func BadStarWidth(err error) error {
+	return fmt.Errorf("%*d %v", 8, 42, err) // want `\[hummer/errwrap\] %v flattens an error operand`
+}
+
+func BadIndexed(err error) error {
+	return fmt.Errorf("%[2]d %[1]v", err, 7) // want `\[hummer/errwrap\] %v flattens an error operand`
+}
+
+func Good(err error) error {
+	return fmt.Errorf("query failed: %w", err)
+}
+
+func GoodNonError(n int) error {
+	return fmt.Errorf("bad count: %v", n)
+}
+
+func GoodPercentLiteral(n int) error {
+	return fmt.Errorf("%d%% failed", n)
+}
+
+type QueryError struct{ Err error }
+
+func (e *QueryError) Error() string { return "query: " + e.Err.Error() }
+
+func GoodTyped(err error) error {
+	return &QueryError{Err: err}
+}

@@ -1,0 +1,41 @@
+// Package suppress is a lint fixture for the suppression directive:
+// a reasoned directive silences its rule on the next line, a reasonless
+// or unknown-rule directive is itself a finding and silences nothing.
+package suppress
+
+func work() {}
+
+func Suppressed() {
+	//lint:ignore hummer/containment fixture: body is panic-free by construction
+	go func() {
+		work()
+	}()
+}
+
+func MissingReason() {
+	//lint:ignore hummer/containment
+	go func() { // want `\[hummer/containment\] goroutine has no leading containment defer`
+		work()
+	}()
+}
+
+func UnknownRule() {
+	//lint:ignore hummer/nosuchrule the rule name is wrong
+	go func() { // want `\[hummer/containment\] goroutine has no leading containment defer`
+		work()
+	}()
+}
+
+func UnqualifiedRule() {
+	//lint:ignore containment missing the hummer/ prefix
+	go func() { // want `\[hummer/containment\] goroutine has no leading containment defer`
+		work()
+	}()
+}
+
+func WrongRule() {
+	//lint:ignore hummer/determinism right prefix, wrong rule for this finding
+	go func() { // want `\[hummer/containment\] goroutine has no leading containment defer`
+		work()
+	}()
+}

@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hummer/internal/fault"
 )
 
 // Endpoint selects which hummerd API a class exercises.
@@ -342,6 +344,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	samples := make([]sample, len(schedule))
 	start := time.Now()
 
+	// Containment: a panic in a request worker becomes the run's
+	// error, never a dead harness mid-experiment. First panic wins;
+	// the worker that recovered simply stops issuing requests.
+	var panicMu sync.Mutex
+	var panicErr error
+	recordPanic := func(r any) {
+		panicMu.Lock()
+		if panicErr == nil {
+			panicErr = fault.NewInternal("loadgen.worker", r)
+		}
+		panicMu.Unlock()
+	}
+
 	switch cfg.Mode {
 	case ModeClosed, "":
 		workers := cfg.Concurrency
@@ -357,6 +372,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						recordPanic(r)
+					}
+				}()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(schedule) || ctx.Err() != nil {
@@ -382,12 +402,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func(req Request) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						recordPanic(r)
+					}
+				}()
 				samples[req.Index] = execOne(ctx, client, cfg.BaseURL, req.Class, cfg.Classes[req.Class])
 			}(req)
 		}
 		wg.Wait()
 	}
 
+	if panicErr != nil {
+		return nil, panicErr
+	}
 	elapsed := time.Since(start)
 	return aggregate(cfg, schedule, samples, elapsed), nil
 }

@@ -274,6 +274,20 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Containment backstop for the drain loop itself: scoring
+			// panics are already captured per-chunk in runChunk, but a
+			// panic in the surrounding channel/pool plumbing must also
+			// become a fault — and this worker must keep draining jobs
+			// afterwards, or the generator's sends could block forever.
+			defer func() {
+				if r := recover(); r != nil {
+					setFail(fault.NewInternal(faultinject.SiteParshardWorker, r))
+					for ch := range jobs {
+						buf := ch.items[:0]
+						bufPool.Put(&buf)
+					}
+				}
+			}()
 			proc, perr := makeWorker()
 			if perr != nil {
 				setFail(perr)
@@ -295,6 +309,10 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 			}
 		}()
 	}
+	// Join-only goroutine: wg.Wait and close cannot panic, and a
+	// containment defer here would convert any latent bug into a
+	// silent collector hang instead of a loud crash.
+	//lint:ignore hummer/containment join-only body (wg.Wait + close); capturing would trade a loud panic for a wedged collector
 	go func() {
 		wg.Wait()
 		close(results)
@@ -334,7 +352,8 @@ func RunContext[T, R any](ctx context.Context, workers, chunkSize int, gen Gen[T
 // shard order.
 // A fault contained inside a shard is re-panicked across this
 // error-less API (already a *fault.InternalError, so the next recovery
-// boundary passes it through unchanged).
+// boundary passes it through unchanged). It is RangesContext with a
+// background context: it cannot be cancelled.
 func Ranges(workers, n int, fn func(shard, lo, hi int)) {
 	if err := RangesContext(context.Background(), workers, n, fn); err != nil {
 		panic(fault.NewInternal(faultinject.SiteParshardRange, err))
@@ -384,6 +403,18 @@ func RangesContext(ctx context.Context, workers, n int, fn func(shard, lo, hi in
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
+			// Containment backstop: runShard captures fn's panics, so
+			// this only fires for plumbing bugs around it — which must
+			// still fail the run, not the process.
+			defer func() {
+				if r := recover(); r != nil {
+					failMu.Lock()
+					if failErr == nil {
+						failErr = fault.NewInternal(faultinject.SiteParshardRange, r)
+					}
+					failMu.Unlock()
+				}
+			}()
 			if err := runShard(s, lo, hi); err != nil {
 				failMu.Lock()
 				if failErr == nil {

@@ -139,6 +139,15 @@ func (e *Executor) StreamContext(ctx context.Context, q string, opt ExecOptions)
 // never a process crash.
 func (r *Rows) produce(ctx context.Context, e *Executor, stmt *sql.Stmt, q string, opt ExecOptions) {
 	defer close(r.events)
+	// Backstop for the span/option bookkeeping around the captured
+	// execution below: a panic there must still become the stream's
+	// terminal error (published via prodErr before the deferred close
+	// releases the consumer), never a process crash.
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.prodErr = fault.NewInternal(faultinject.SitePlanStream, rec)
+		}
+	}()
 	// The stream span covers execution plus the full drain: its
 	// duration is the stream's wall time as the consumer experienced
 	// it, with the execution sub-spans (cache.fused, pipeline, ...)
@@ -288,11 +297,17 @@ func (r *Rows) send(ctx context.Context, ev streamEvent) bool {
 	case <-ctx.Done():
 		return false
 	default:
+		// Wall-clock reads here time consumer stalls for the
+		// backpressure histogram only; they never touch row data, so
+		// the byte-identity contract is unaffected.
+		//lint:ignore hummer/determinism stall-metric timing only; never reaches result bytes
 		t0 := time.Now()
 		select {
 		case r.events <- ev:
+			//lint:ignore hummer/determinism stall-metric timing only; never reaches result bytes
 			stallHist.Observe(time.Since(t0))
 		case <-ctx.Done():
+			//lint:ignore hummer/determinism stall-metric timing only; never reaches result bytes
 			stallHist.Observe(time.Since(t0))
 			return false
 		}
